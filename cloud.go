@@ -1,0 +1,111 @@
+package snip
+
+import (
+	"net/http"
+	"time"
+
+	"snip/internal/cloud"
+	"snip/internal/schemes"
+	"snip/internal/units"
+)
+
+// CloudService is the cloud-side profiler of Fig. 10, exposed over HTTP:
+// devices upload events-only logs, the service replays them in the
+// emulator, runs PFI and serves OTA lookup tables.
+type CloudService struct {
+	svc *cloud.Service
+}
+
+// NewCloudService builds a profiler service with the given PFI options.
+func NewCloudService(o PFIOptions) *CloudService {
+	return &CloudService{svc: cloud.NewService(o.config())}
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *CloudService) Handler() http.Handler { return s.svc.Handler() }
+
+// CloudClient is the device side: record a session, upload it, fetch the
+// refreshed table.
+type CloudClient struct {
+	c *cloud.Client
+}
+
+// NewCloudClient builds a client for a CloudService base URL.
+func NewCloudClient(baseURL string) *CloudClient {
+	return &CloudClient{c: cloud.NewClient(baseURL)}
+}
+
+// RecordAndUpload plays one session (baseline, recording only the event
+// log — the device's lightweight instrumentation) and uploads it.
+func (c *CloudClient) RecordAndUpload(game string, seed uint64, duration time.Duration) error {
+	r, err := schemes.Run(schemes.Config{
+		Game: game, Seed: seed, Duration: units.Time(duration / time.Microsecond),
+		Scheme: schemes.Baseline, CollectEventLog: true,
+	})
+	if err != nil {
+		return err
+	}
+	return c.c.Upload(game, seed, r.EventLog)
+}
+
+// Rebuild asks the cloud to retrain PFI and rebuild the table.
+func (c *CloudClient) Rebuild(game string) error { return c.c.Rebuild(game) }
+
+// FetchTable downloads the latest OTA table for a game.
+func (c *CloudClient) FetchTable(game string) (*Table, *Selection, error) {
+	up, err := c.c.FetchTable(game)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Table{t: up.Table}, &Selection{
+		SelectedBytes:   up.Selection.TotalWidth().Bytes(),
+		Coverage:        up.Metrics.Coverage,
+		PersistentError: up.Metrics.NonTempError,
+		TempError:       up.Metrics.TempError,
+	}, nil
+}
+
+// Learner runs the continuous-learning loop (Fig. 12) in-process: each
+// Epoch ingests one more session and retrains.
+type Learner struct {
+	l    *cloud.Learner
+	game string
+}
+
+// NewLearner builds a learner for a game. initialRecords caps the FIRST
+// epoch's profile to model an insufficient initial profile (0 disables).
+func NewLearner(game string, o PFIOptions, initialRecords int) *Learner {
+	return &Learner{l: cloud.NewLearner(game, o.config(), initialRecords), game: game}
+}
+
+// Epoch plays one session with the current table, reports its error rate
+// and coverage, then uploads the session and retrains.
+func (l *Learner) Epoch(seed uint64, duration time.Duration) (errorRate, coverage float64, err error) {
+	d := units.Time(duration / time.Microsecond)
+	var table *Table
+	if up := l.l.Profiler.Latest(); up != nil {
+		table = &Table{t: up.Table}
+	}
+	if table != nil {
+		r, err := schemes.Run(schemes.Config{
+			Game: l.game, Seed: seed, Duration: d,
+			Scheme: schemes.SNIP, Table: table.t, EvalCorrectness: true,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		errorRate = r.Errors.FieldErrorRate()
+		coverage = r.CoverageFraction()
+	}
+	ground, err := schemes.Profile(l.game, seed, d)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := l.l.Epoch(ground.Dataset); err != nil {
+		return 0, 0, err
+	}
+	return errorRate, coverage, nil
+}
+
+// ProfileRecords returns the accumulated profile size.
+func (l *Learner) ProfileRecords() int { return l.l.Profiler.ProfileLen() }

@@ -1,0 +1,35 @@
+// Command profilerd runs SNIP's cloud profiler as an HTTP daemon: devices
+// POST events-only session logs, the daemon replays them against the
+// emulator (the deterministic game engine), runs PFI, and serves OTA
+// lookup tables.
+//
+// Usage:
+//
+//	profilerd -addr 127.0.0.1:8370
+//
+// Endpoints:
+//
+//	POST /v1/upload?game=G&seed=S    (body: events-only log)
+//	POST /v1/rebuild?game=G
+//	GET  /v1/table?game=G
+//	GET  /v1/status?game=G
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"snip"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8370", "listen address")
+	flag.Parse()
+
+	svc := snip.NewCloudService(snip.DefaultPFIOptions())
+	log.Printf("profilerd listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

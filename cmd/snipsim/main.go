@@ -1,0 +1,106 @@
+// Command snipsim runs one simulated game session under a chosen scheme
+// and prints its energy report. With -scheme snip it first profiles the
+// game on training seeds and builds the PFI lookup table, reproducing the
+// full Fig. 10 pipeline in one shot.
+//
+// Usage:
+//
+//	snipsim -game ABEvolution -scheme snip -secs 60
+//	snipsim -game RaceKings -scheme baseline
+//	snipsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"snip"
+)
+
+func main() {
+	game := flag.String("game", "ABEvolution", "game workload (see -list)")
+	scheme := flag.String("scheme", "baseline", "baseline | max-cpu | max-ip | snip | no-overheads")
+	secs := flag.Int("secs", 45, "simulated session seconds")
+	seed := flag.Uint64("seed", 1, "session seed (the user)")
+	profileSessions := flag.Int("profile-sessions", 8, "training sessions for the SNIP table")
+	list := flag.Bool("list", false, "list game workloads and exit")
+	check := flag.Bool("check", true, "shadow-check short-circuit correctness (snip only)")
+	flag.Parse()
+
+	if *list {
+		for _, g := range snip.Games() {
+			fmt.Println(g)
+		}
+		return
+	}
+
+	opts := snip.Options{
+		Game:             *game,
+		Seed:             *seed,
+		Duration:         time.Duration(*secs) * time.Second,
+		Scheme:           snip.Scheme(*scheme),
+		CheckCorrectness: *check,
+	}
+
+	needsTable := opts.Scheme == snip.SchemeSNIP || opts.Scheme == snip.SchemeNoOverheads
+	if needsTable {
+		fmt.Fprintf(os.Stderr, "profiling %s on %d training sessions...\n", *game, *profileSessions)
+		profile, err := snip.Profile(*game, snip.ProfileOptions{
+			Sessions: *profileSessions,
+			Duration: opts.Duration,
+		})
+		fatalIf(err)
+		table, sel, err := snip.BuildTable(profile, snip.DefaultPFIOptions())
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "PFI selected %dB of %dB input fields; table %d rows, %d bytes\n",
+			sel.SelectedBytes, sel.TotalInputBytes, table.Rows(), table.SizeBytes())
+		opts.Table = table
+	}
+
+	// Always run the baseline too, for the saving comparison.
+	baseOpts := opts
+	baseOpts.Scheme = snip.SchemeBaseline
+	baseOpts.Table = nil
+	baseline, err := snip.Play(baseOpts)
+	fatalIf(err)
+
+	rep := baseline
+	if opts.Scheme != snip.SchemeBaseline && opts.Scheme != "" {
+		rep, err = snip.Play(opts)
+		fatalIf(err)
+	}
+
+	fmt.Printf("game:            %s\n", rep.Game)
+	fmt.Printf("scheme:          %s\n", rep.Scheme)
+	fmt.Printf("events:          %d\n", rep.Events)
+	fmt.Printf("simulated time:  %.1f s\n", rep.SimulatedSeconds)
+	fmt.Printf("energy:          %.2f J (baseline %.2f J)\n", rep.EnergyJoules, baseline.EnergyJoules)
+	fmt.Printf("saving:          %.1f%%\n", 100*rep.SavingVs(baseline))
+	fmt.Printf("battery life:    %.2f h (baseline %.2f h, idle phone %.1f h)\n",
+		rep.BatteryHours, baseline.BatteryHours, snip.IdlePhoneHours())
+	fmt.Printf("breakdown:       Sensors %.1f%% | Memory %.1f%% | CPU %.1f%% | IPs %.1f%%\n",
+		100*rep.EnergyBreakdown["Sensors"], 100*rep.EnergyBreakdown["Memory"],
+		100*rep.EnergyBreakdown["CPU"], 100*rep.EnergyBreakdown["IPs"])
+	if rep.Scheme == snip.SchemeBaseline {
+		fmt.Printf("useless events:  %.1f%% (wasting %.1f%% of energy)\n",
+			100*rep.UselessEventFraction, 100*rep.WastedEnergyFraction)
+	} else {
+		fmt.Printf("short-circuited: %d events, %.1f%% of execution\n",
+			rep.ShortCircuited, 100*rep.Coverage)
+		fmt.Printf("lookup overhead: %.1f%% of energy\n", 100*rep.LookupOverheadFraction)
+		if rep.ErrorFields.Predicted > 0 {
+			fmt.Printf("served fields:   %d (errors: %d temp, %d history, %d extern)\n",
+				rep.ErrorFields.Predicted, rep.ErrorFields.Temp,
+				rep.ErrorFields.History, rep.ErrorFields.Extern)
+		}
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snipsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// AB Evolution walkthrough: the paper's running example, end to end.
+// Reproduces the §III–§V argument on one game: why naive memoization
+// explodes, why In.Event-only tables err, and how PFI's necessary inputs
+// make the table deployable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"snip"
+)
+
+func main() {
+	scale := snip.DefaultScale()
+	w := os.Stdout
+
+	fmt.Println("### AB Evolution: from redundant events to a deployable table")
+	fmt.Println()
+
+	// The characterization: how many events change nothing? (Fig. 4 for
+	// this one game: the max-stretched catapult is the flagship case.)
+	baseline, err := snip.Play(snip.Options{Game: "ABEvolution"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Baseline: %d events, %.0f%% useless, %.1f J, battery %.1f h\n\n",
+		baseline.Events, 100*baseline.UselessEventFraction,
+		baseline.EnergyJoules, baseline.BatteryHours)
+
+	// §III: the naive lookup table blows up.
+	if _, err := snip.Fig6(w, scale); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// §IV: input/output structure and the In.Event-only shortcut's errors.
+	if _, err := snip.Fig7(w, scale); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if _, err := snip.Fig8(w, scale); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// §V: PFI trims the inputs to the necessary few.
+	fig9, err := snip.Fig9(w, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Deploy: build the table and play with SNIP.
+	profile, err := snip.Profile("ABEvolution", snip.ProfileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, _, err := snip.BuildTable(profile, snip.DefaultPFIOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := snip.Play(snip.Options{
+		Game: "ABEvolution", Scheme: snip.SchemeSNIP, Table: table, CheckCorrectness: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Deployed SNIP: selection %s\n", table.SelectionSummary())
+	fmt.Printf("  %.1f%% of execution snipped, %.1f%% energy saved, %d/%d fields erroneous\n",
+		100*rep.Coverage, 100*rep.SavingVs(baseline),
+		rep.ErrorFields.Temp+rep.ErrorFields.History+rep.ErrorFields.Extern,
+		rep.ErrorFields.Predicted)
+	fmt.Printf("  (PFI kept %.2f%% of the input bytes)\n", 100*fig9.SelectedFrac)
+}

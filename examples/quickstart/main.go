@@ -1,0 +1,58 @@
+// Quickstart: profile a game, build the SNIP lookup table, and compare a
+// SNIP session against the baseline — the library's 60-second tour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"snip"
+)
+
+func main() {
+	const game = "CandyCrush"
+
+	// 1. Baseline: how does the game behave untouched?
+	baseline, err := snip.Play(snip.Options{Game: game, Duration: 45 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s baseline: %d events, %.1f J, battery %.1f h\n",
+		game, baseline.Events, baseline.EnergyJoules, baseline.BatteryHours)
+	fmt.Printf("  %.0f%% of events changed nothing, wasting %.0f%% of the energy\n",
+		100*baseline.UselessEventFraction, 100*baseline.WastedEnergyFraction)
+
+	// 2. Profile other sessions of the game (the cloud's training data).
+	profile, err := snip.Profile(game, snip.ProfileOptions{Sessions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d event executions across 8 sessions\n", profile.Records())
+
+	// 3. PFI selects the necessary inputs and builds the lookup table.
+	table, sel, err := snip.BuildTable(profile, snip.DefaultPFIOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PFI kept %d of %d input bytes (%.1f%%); table: %d rows, %d bytes\n",
+		sel.SelectedBytes, sel.TotalInputBytes,
+		100*float64(sel.SelectedBytes)/float64(sel.TotalInputBytes),
+		table.Rows(), table.SizeBytes())
+
+	// 4. Play the same session with SNIP short-circuiting redundant
+	// events through the table.
+	snipped, err := snip.Play(snip.Options{
+		Game: game, Duration: 45 * time.Second,
+		Scheme: snip.SchemeSNIP, Table: table, CheckCorrectness: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s with SNIP: %.1f J — %.1f%% energy saved, %.1f%% of execution snipped\n",
+		game, snipped.EnergyJoules, 100*snipped.SavingVs(baseline), 100*snipped.Coverage)
+	fmt.Printf("  battery %.1f h (+%.1f h); %d/%d served output fields erroneous\n",
+		snipped.BatteryHours, snipped.BatteryHours-baseline.BatteryHours,
+		snipped.ErrorFields.Temp+snipped.ErrorFields.History+snipped.ErrorFields.Extern,
+		snipped.ErrorFields.Predicted)
+}

@@ -1,0 +1,3 @@
+module snip
+
+go 1.22

@@ -1,0 +1,214 @@
+package cloud
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"snip/internal/pfi"
+	"snip/internal/schemes"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+const testDur = 15 * units.Second
+
+func record(t *testing.T, game string, seed uint64) *schemes.Result {
+	t.Helper()
+	r, err := schemes.Run(schemes.Config{
+		Game: game, Seed: seed, Duration: testDur,
+		Scheme: schemes.Baseline, CollectTrace: true, CollectEventLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestReplayReconstructsProfile is the keystone of the cloud design: the
+// emulator replay of an events-only log must reproduce EXACTLY the full
+// profile the device would have recorded — that is why uploading only
+// events is enough.
+func TestReplayReconstructsProfile(t *testing.T) {
+	for _, game := range []string{"Colorphun", "CandyCrush", "ChaseWhisply"} {
+		dev := record(t, game, 42)
+		replayed, err := Replay(game, 42, dev.EventLog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed.Len() != dev.Dataset.Len() {
+			t.Fatalf("%s: replay %d records vs device %d", game, replayed.Len(), dev.Dataset.Len())
+		}
+		for i := range replayed.Records {
+			a, b := replayed.Records[i], dev.Dataset.Records[i]
+			if a.InputHash(nil) != b.InputHash(nil) || a.OutputHash() != b.OutputHash() {
+				t.Fatalf("%s: record %d (%s) diverged in replay", game, i, a.EventType)
+			}
+		}
+	}
+}
+
+func TestReplayRejectsUnknownEventType(t *testing.T) {
+	log := &trace.EventLog{Game: "Colorphun", Events: []trace.LoggedEvent{
+		{Type: "warp", Values: []int64{1}},
+	}}
+	if _, err := Replay("Colorphun", 1, log); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	if _, err := Replay("NoSuchGame", 1, &trace.EventLog{}); err == nil {
+		t.Fatal("unknown game accepted")
+	}
+}
+
+func TestProfilerRebuild(t *testing.T) {
+	p := NewProfiler("Greenwall", pfi.DefaultConfig())
+	if _, err := p.Rebuild(); err == nil {
+		t.Fatal("rebuild on empty profile accepted")
+	}
+	dev := record(t, "Greenwall", 7)
+	if err := p.IngestLog(7, dev.EventLog); err != nil {
+		t.Fatal(err)
+	}
+	if p.ProfileLen() != dev.Dataset.Len() {
+		t.Fatalf("profile %d records", p.ProfileLen())
+	}
+	up, err := p.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Version != 1 || up.Table.Rows() == 0 {
+		t.Fatalf("update %+v", up)
+	}
+	if p.Latest() != up {
+		t.Fatal("Latest() mismatch")
+	}
+	// Second ingest bumps the version.
+	p.IngestDataset(record(t, "Greenwall", 8).Dataset)
+	up2, err := p.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up2.Version != 2 || up2.ProfileRecords <= up.ProfileRecords {
+		t.Fatal("version/profile bookkeeping broken")
+	}
+}
+
+func TestLearnerTruncatesFirstEpoch(t *testing.T) {
+	l := NewLearner("Colorphun", pfi.DefaultConfig(), 100)
+	ds := record(t, "Colorphun", 3).Dataset
+	if _, err := l.Epoch(ds); err != nil {
+		t.Fatal(err)
+	}
+	if l.Profiler.ProfileLen() != 100 {
+		t.Fatalf("first epoch profile %d, want the 100-record cap", l.Profiler.ProfileLen())
+	}
+	if _, err := l.Epoch(ds); err != nil {
+		t.Fatal(err)
+	}
+	if l.Profiler.ProfileLen() != 100+ds.Len() {
+		t.Fatalf("second epoch profile %d", l.Profiler.ProfileLen())
+	}
+	if l.Epochs() != 2 {
+		t.Fatalf("epochs %d", l.Epochs())
+	}
+}
+
+func TestUpdateEncodeDecode(t *testing.T) {
+	p := NewProfiler("MemoryGame", pfi.DefaultConfig())
+	p.IngestDataset(record(t, "MemoryGame", 9).Dataset)
+	up, err := p.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeUpdate(&buf, up); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUpdate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Game != up.Game || got.Version != up.Version {
+		t.Fatal("metadata lost")
+	}
+	if got.Table.Rows() != up.Table.Rows() {
+		t.Fatalf("rows %d vs %d", got.Table.Rows(), up.Table.Rows())
+	}
+	if _, err := DecodeUpdate(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestHTTPServiceEndToEnd(t *testing.T) {
+	svc := NewService(pfi.DefaultConfig())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// No table yet.
+	if _, err := client.FetchTable("Colorphun"); err == nil {
+		t.Fatal("fetch before build should fail")
+	}
+
+	for seed := uint64(0xA1); seed <= 0xA3; seed++ {
+		dev := record(t, "Colorphun", seed)
+		if err := client.Upload("Colorphun", seed, dev.EventLog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Rebuild("Colorphun"); err != nil {
+		t.Fatal(err)
+	}
+	up, err := client.FetchTable("Colorphun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Table.Rows() == 0 || up.Game != "Colorphun" {
+		t.Fatalf("fetched update %+v", up)
+	}
+
+	// The fetched table actually works in a session.
+	r, err := schemes.Run(schemes.Config{
+		Game: "Colorphun", Seed: 1, Duration: testDur,
+		Scheme: schemes.SNIP, Table: up.Table,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SnippedEvents == 0 {
+		t.Fatal("OTA table snipped nothing")
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	svc := NewService(pfi.DefaultConfig())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	// Upload with a bogus body errors.
+	if err := client.Rebuild("Nothing"); err == nil {
+		t.Fatal("rebuild of unknown game should fail (empty profile)")
+	}
+}
+
+func TestBackendCostMonotone(t *testing.T) {
+	small := BackendCost(1000, 10)
+	big := BackendCost(100000, 40)
+	if small <= 0 || big <= small {
+		t.Fatalf("backend cost not monotone: %v %v", small, big)
+	}
+}
+
+func TestShrinkSummary(t *testing.T) {
+	ds := record(t, "Colorphun", 5).Dataset
+	p := NewProfiler("Colorphun", pfi.DefaultConfig())
+	p.IngestDataset(ds)
+	up, err := p.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, deployed := ShrinkSummary(ds, up)
+	if naive <= deployed {
+		t.Fatalf("naive %v should dwarf deployed %v", naive, deployed)
+	}
+}

@@ -1,0 +1,207 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"snip/internal/memo"
+	"snip/internal/pfi"
+	"snip/internal/trace"
+)
+
+// Service exposes the profiler fleet over HTTP — the device/cloud split
+// of Fig. 10. Endpoints:
+//
+//	POST /v1/upload?game=G&seed=S   body: events-only log (trace gob)
+//	POST /v1/rebuild?game=G         retrain PFI, build a new table
+//	GET  /v1/table?game=G           latest OTA table (gob)
+//	GET  /v1/status?game=G          text status
+type Service struct {
+	mu        sync.Mutex
+	cfg       pfi.Config
+	profilers map[string]*Profiler
+}
+
+// NewService builds an empty service; profilers are created per game on
+// first upload.
+func NewService(cfg pfi.Config) *Service {
+	return &Service{cfg: cfg, profilers: make(map[string]*Profiler)}
+}
+
+func (s *Service) profiler(game string) *Profiler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.profilers[game]
+	if !ok {
+		p = NewProfiler(game, s.cfg)
+		s.profilers[game] = p
+	}
+	return p
+}
+
+// Handler returns the HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/upload", s.handleUpload)
+	mux.HandleFunc("POST /v1/rebuild", s.handleRebuild)
+	mux.HandleFunc("GET /v1/table", s.handleTable)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
+	game := r.URL.Query().Get("game")
+	if game == "" {
+		http.Error(w, "missing game", http.StatusBadRequest)
+		return
+	}
+	seed, err := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad seed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	log, err := trace.DecodeEventsOnly(r.Body)
+	if err != nil {
+		http.Error(w, "bad log: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.profiler(game).IngestLog(seed, log); err != nil {
+		http.Error(w, "replay: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintf(w, "ok records=%d\n", s.profiler(game).ProfileLen())
+}
+
+func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	game := r.URL.Query().Get("game")
+	up, err := s.profiler(game).Rebuild()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintf(w, "ok version=%d rows=%d size=%v\n", up.Version, up.Table.Rows(), up.Table.Size())
+}
+
+func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
+	game := r.URL.Query().Get("game")
+	up := s.profiler(game).Latest()
+	if up == nil {
+		http.Error(w, "no table built yet", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := EncodeUpdate(&buf, up); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snip-Version", strconv.Itoa(up.Version))
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	game := r.URL.Query().Get("game")
+	p := s.profiler(game)
+	fmt.Fprintf(w, "game=%s records=%d", game, p.ProfileLen())
+	if up := p.Latest(); up != nil {
+		fmt.Fprintf(w, " version=%d rows=%d size=%v coverage=%.1f%%",
+			up.Version, up.Table.Rows(), up.Table.Size(), 100*up.Metrics.Coverage)
+	}
+	fmt.Fprintln(w)
+}
+
+// wireUpdate mirrors TableUpdate with the table in wire form.
+type wireUpdate struct {
+	Game           string
+	Version        int
+	Table          *memo.Wire
+	Metrics        pfi.Metrics
+	ProfileRecords int
+}
+
+// EncodeUpdate writes a TableUpdate as a gob stream.
+func EncodeUpdate(w io.Writer, up *TableUpdate) error {
+	return gob.NewEncoder(w).Encode(wireUpdate{
+		Game: up.Game, Version: up.Version, Table: up.Table.Export(),
+		Metrics: up.Metrics, ProfileRecords: up.ProfileRecords,
+	})
+}
+
+// DecodeUpdate reads a TableUpdate written by EncodeUpdate.
+func DecodeUpdate(r io.Reader) (*TableUpdate, error) {
+	var wu wireUpdate
+	if err := gob.NewDecoder(r).Decode(&wu); err != nil {
+		return nil, fmt.Errorf("cloud: decode update: %w", err)
+	}
+	t := memo.FromWire(wu.Table)
+	return &TableUpdate{
+		Game: wu.Game, Version: wu.Version, Selection: t.Selection(), Table: t,
+		Metrics: wu.Metrics, ProfileRecords: wu.ProfileRecords,
+	}, nil
+}
+
+// Client is the device-side counterpart: upload logs, request rebuilds,
+// fetch tables.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the given base URL (e.g.
+// "http://127.0.0.1:8370").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// Upload sends an events-only log for a session seed.
+func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
+	var buf bytes.Buffer
+	if err := trace.EncodeEventsOnly(&buf, log); err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/upload?game=%s&seed=%d", c.BaseURL, game, seed)
+	resp, err := c.HTTP.Post(url, "application/octet-stream", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return errFromResponse(resp)
+}
+
+// Rebuild asks the cloud to retrain and build a fresh table.
+func (c *Client) Rebuild(game string) error {
+	url := fmt.Sprintf("%s/v1/rebuild?game=%s", c.BaseURL, game)
+	resp, err := c.HTTP.Post(url, "text/plain", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return errFromResponse(resp)
+}
+
+// FetchTable downloads the latest OTA table.
+func (c *Client) FetchTable(game string) (*TableUpdate, error) {
+	url := fmt.Sprintf("%s/v1/table?game=%s", c.BaseURL, game)
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := errFromResponse(resp); err != nil {
+		return nil, err
+	}
+	return DecodeUpdate(resp.Body)
+}
+
+func errFromResponse(resp *http.Response) error {
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+	return fmt.Errorf("cloud: %s: %s", resp.Status, bytes.TrimSpace(body))
+}

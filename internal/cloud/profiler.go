@@ -1,0 +1,220 @@
+// Package cloud implements SNIP's offline profiler (§V-B): the service
+// that receives events-only logs from devices, replays them against the
+// emulator (our deterministic game engine plays the AOSP emulator's
+// role), accumulates the full input/output profile, runs PFI, and ships
+// the resulting lookup table back to devices as an OTA update. It also
+// implements the continuous-learning loop of Fig. 12 and an HTTP
+// transport so a real device/daemon split can be exercised end to end.
+package cloud
+
+import (
+	"fmt"
+	"sync"
+
+	"snip/internal/events"
+	"snip/internal/games"
+	"snip/internal/memo"
+	"snip/internal/pfi"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+// Replay re-executes an events-only log against a fresh instance of the
+// game (the emulator step): it reconstructs the full input/output profile
+// that the device-side recording deliberately omitted.
+//
+// The log's events must carry the same seed-deterministic game content as
+// the device run, which the paper achieves by replaying the recorded
+// inputs "in the same manner as if the user is playing the game once
+// again in the emulator"; here the game seed travels with the replay.
+func Replay(gameName string, seed uint64, log *trace.EventLog) (*trace.Dataset, error) {
+	g, err := games.New(gameName)
+	if err != nil {
+		return nil, err
+	}
+	g.Reset(seed)
+	handled := make(map[string]bool)
+	for _, t := range g.Types() {
+		handled[t.String()] = true
+	}
+	ds := &trace.Dataset{Game: gameName}
+	for _, le := range log.Events {
+		// Unknown names mean a corrupt log; known-but-unregistered types
+		// are simply not delivered, as on the device.
+		t, err := eventTypeByName(le.Type)
+		if err != nil {
+			return nil, err
+		}
+		if !handled[le.Type] {
+			continue
+		}
+		ev := events.New(t, le.Seq, le.Time, le.Values...)
+		exec := g.Process(ev)
+		ds.Append(exec.Record)
+	}
+	return ds, nil
+}
+
+func eventTypeByName(name string) (events.Type, error) {
+	for t := events.Type(0); int(t) < events.NumTypes; t++ {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("cloud: unknown event type %q", name)
+}
+
+// TableUpdate is the OTA payload the cloud sends back to devices: the
+// necessary-input selection and the populated lookup table.
+type TableUpdate struct {
+	Game      string
+	Version   int
+	Selection memo.Selection
+	Table     *memo.SnipTable
+	// Quality captured on the profile at build time.
+	Metrics pfi.Metrics
+	// ProfileRecords is how many records the table was trained on.
+	ProfileRecords int
+}
+
+// Profiler is the cloud-side state for one game: the accumulated profile
+// and the latest table build. Safe for concurrent use.
+type Profiler struct {
+	mu      sync.Mutex
+	game    string
+	cfg     pfi.Config
+	profile *trace.Dataset
+	version int
+	latest  *TableUpdate
+}
+
+// NewProfiler creates a profiler for one game.
+func NewProfiler(game string, cfg pfi.Config) *Profiler {
+	return &Profiler{game: game, cfg: cfg, profile: &trace.Dataset{Game: game}}
+}
+
+// Game returns the game this profiler serves.
+func (p *Profiler) Game() string { return p.game }
+
+// ProfileLen returns the number of accumulated records.
+func (p *Profiler) ProfileLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.profile.Len()
+}
+
+// IngestLog replays an events-only log (with its session seed) and adds
+// the reconstructed records to the profile.
+func (p *Profiler) IngestLog(seed uint64, log *trace.EventLog) error {
+	ds, err := Replay(p.game, seed, log)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.profile.Merge(ds)
+	return nil
+}
+
+// IngestDataset adds an already-reconstructed profile (e.g. from the
+// development-time testing path rather than user uploads).
+func (p *Profiler) IngestDataset(ds *trace.Dataset) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.profile.Merge(ds)
+}
+
+// Rebuild runs PFI over the accumulated profile and produces a fresh OTA
+// update.
+func (p *Profiler) Rebuild() (*TableUpdate, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.profile.Len() == 0 {
+		return nil, fmt.Errorf("cloud: no profile data for %s", p.game)
+	}
+	cfg := p.cfg
+	if g, err := games.New(p.game); err == nil {
+		if ov := g.Overrides(); len(ov) > 0 && cfg.ForceInclude == nil {
+			cfg.ForceInclude = make(map[string]bool, len(ov))
+			for _, f := range ov {
+				cfg.ForceInclude[f] = true
+			}
+		}
+	}
+	res, err := pfi.Run(p.profile, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.version++
+	p.latest = &TableUpdate{
+		Game:           p.game,
+		Version:        p.version,
+		Selection:      res.Selection,
+		Table:          memo.BuildSnip(p.profile, res.Selection),
+		Metrics:        res.Final,
+		ProfileRecords: p.profile.Len(),
+	}
+	return p.latest, nil
+}
+
+// Latest returns the most recent update, or nil if none was built.
+func (p *Profiler) Latest() *TableUpdate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latest
+}
+
+// Learner drives the continuous-learning loop of Fig. 12 (Option 2 in
+// §V-B): each epoch, a played session's events are uploaded, the profile
+// grows, PFI retrains, and the next session runs against the fresher
+// table. It wraps a Profiler with the epoch bookkeeping.
+type Learner struct {
+	Profiler *Profiler
+	// InitialTruncate, when positive, caps the profile at that many
+	// records before the FIRST rebuild — the paper's artificially
+	// insufficient initial profile.
+	InitialTruncate int
+
+	epochs int
+}
+
+// NewLearner builds a continuous learner over a fresh profiler.
+func NewLearner(game string, cfg pfi.Config, initialTruncate int) *Learner {
+	return &Learner{Profiler: NewProfiler(game, cfg), InitialTruncate: initialTruncate}
+}
+
+// Epoch ingests one more play session and rebuilds the table. On the
+// first epoch, the profile is truncated to the configured insufficient
+// size before training.
+func (l *Learner) Epoch(session *trace.Dataset) (*TableUpdate, error) {
+	l.epochs++
+	if l.epochs == 1 && l.InitialTruncate > 0 {
+		l.Profiler.IngestDataset(session.Truncate(l.InitialTruncate))
+	} else {
+		l.Profiler.IngestDataset(session)
+	}
+	return l.Profiler.Rebuild()
+}
+
+// Epochs returns how many sessions have been ingested.
+func (l *Learner) Epochs() int { return l.epochs }
+
+// BackendCost estimates the cloud-side processing cost of building a
+// table from a profile, in the units the paper reports (§VII-C): CPU-core
+// seconds on a Xeon-class server, dominated by the PFI search — per field
+// and elimination round, one pass over the profile.
+func BackendCost(profileRecords, inputFields int) (coreSeconds float64) {
+	// One pass over R records with F fields costs ~R×F key hashes; the
+	// search runs O(F²) passes (importance + elimination) at ≈5M
+	// field-hashes per core-second.
+	passes := float64(inputFields * inputFields)
+	return passes * float64(profileRecords) * float64(inputFields) / 5e6 / 100
+}
+
+// ShrinkSummary reports the table-shrink headline of §VII-C for a built
+// update: the naive table size the profile implies versus the deployed
+// SNIP table size.
+func ShrinkSummary(profile *trace.Dataset, up *TableUpdate) (naive, deployed units.Size) {
+	n := memo.BuildNaive(profile)
+	return n.Size(), up.Table.Size()
+}

@@ -1,0 +1,93 @@
+package events
+
+import (
+	"sort"
+
+	"snip/internal/energy"
+	"snip/internal/soc"
+	"snip/internal/units"
+)
+
+// Handler processes one event. Games implement this.
+type Handler interface {
+	HandleEvent(e *Event)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(e *Event)
+
+// HandleEvent calls f(e).
+func (f HandlerFunc) HandleEvent(e *Event) { f(e) }
+
+// Dispatcher is the Binder-like delivery path between the sensor hub's
+// runtime and the game: events are queued in time order and handed to the
+// registered handler one at a time (Android's main-looper model). The
+// dispatcher also knows the fixed OS-side cost of delivering an event —
+// sensor-hub processing plus the Binder transaction — which no scheme can
+// short-circuit, because SNIP intercepts only after the event reaches the
+// app (paper §V-B).
+type Dispatcher struct {
+	queue    []*Event
+	handlers [NumTypes]Handler
+	fallback Handler
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher { return &Dispatcher{} }
+
+// Register installs a handler for one event type.
+func (d *Dispatcher) Register(t Type, h Handler) { d.handlers[t] = h }
+
+// RegisterAll installs a handler for every event type not already bound.
+func (d *Dispatcher) RegisterAll(h Handler) { d.fallback = h }
+
+// Enqueue adds events to the queue.
+func (d *Dispatcher) Enqueue(es ...*Event) { d.queue = append(d.queue, es...) }
+
+// Pending returns the number of queued events.
+func (d *Dispatcher) Pending() int { return len(d.queue) }
+
+// Sort stable-sorts the queue by event time (sequence breaks ties).
+func (d *Dispatcher) Sort() {
+	sort.SliceStable(d.queue, func(i, j int) bool {
+		if d.queue[i].Time != d.queue[j].Time {
+			return d.queue[i].Time < d.queue[j].Time
+		}
+		return d.queue[i].Seq < d.queue[j].Seq
+	})
+}
+
+// Drain delivers every queued event in time order and empties the queue.
+func (d *Dispatcher) Drain() {
+	d.Sort()
+	q := d.queue
+	d.queue = nil
+	for _, e := range q {
+		if h := d.handlers[e.Type]; h != nil {
+			h.HandleEvent(e)
+		} else if d.fallback != nil {
+			d.fallback.HandleEvent(e)
+		}
+	}
+}
+
+// DeliveryCost returns the OS-side work of delivering one event: sensor
+// hub processing of the underlying readings plus the Binder transaction
+// copying the event object into the app. This cost applies to every
+// scheme, including SNIP.
+func DeliveryCost(e *Event) soc.Work {
+	size := e.Size()
+	return soc.Work{
+		// Binder transaction + looper dispatch: ~18k instructions, plus a
+		// copy cost proportional to the object size.
+		CPUInstr: 18000 + int64(size)*4,
+		MemBytes: size * 2, // copy in, copy out
+		IPCalls: []soc.IPCall{{
+			IP:        energy.SensorHub,
+			Op:        "hub-process",
+			InputHash: e.Hash(),
+			Duration:  12 * units.Microsecond,
+			MemBytes:  size,
+		}},
+	}
+}

@@ -1,0 +1,306 @@
+package events
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"snip/internal/sensors"
+	"snip/internal/units"
+)
+
+func TestSchemasCoverPaperSizeRange(t *testing.T) {
+	// In.Event objects span 2–640 bytes in the paper (Fig. 7a).
+	var min, max units.Size = 1 << 30, 0
+	for ty := Type(0); int(ty) < NumTypes; ty++ {
+		sz := ObjectSize(ty)
+		if sz <= 0 {
+			t.Fatalf("%v has zero size", ty)
+		}
+		if sz < min {
+			min = sz
+		}
+		if sz > max {
+			max = sz
+		}
+		if strings.HasPrefix(ty.String(), "Type(") {
+			t.Fatalf("type %d unnamed", int(ty))
+		}
+	}
+	if min > 16 {
+		t.Fatalf("smallest event %v B, want small (paper: 2 B)", min)
+	}
+	if max < 600 || max > 700 {
+		t.Fatalf("largest event %v B, want ≈640 B (camera frame)", max)
+	}
+}
+
+func TestEventFieldAccess(t *testing.T) {
+	e := New(Tap, 1, 100, 320, 640, 512, 0, 1)
+	if v, ok := e.Field("x"); !ok || v != 320 {
+		t.Fatalf("x = %v ok=%v", v, ok)
+	}
+	if v, ok := e.Field("y"); !ok || v != 640 {
+		t.Fatalf("y = %v ok=%v", v, ok)
+	}
+	if _, ok := e.Field("nope"); ok {
+		t.Fatal("bogus field found")
+	}
+	if e.MustField("pressure") != 512 {
+		t.Fatal("MustField wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustField on missing field did not panic")
+		}
+	}()
+	e.MustField("nope")
+}
+
+func TestNewValidatesArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong value count did not panic")
+		}
+	}()
+	New(Tap, 0, 0, 1, 2) // Tap needs 5 values
+}
+
+func TestHashSensitivity(t *testing.T) {
+	a := New(Tap, 1, 0, 100, 200, 512, 0, 1)
+	b := New(Tap, 2, 50, 100, 200, 512, 0, 1) // same values, different seq/time
+	if a.Hash() != b.Hash() {
+		t.Fatal("hash should depend only on type+values")
+	}
+	c := New(Tap, 1, 0, 101, 200, 512, 0, 1)
+	if a.Hash() == c.Hash() {
+		t.Fatal("hash ignores value change")
+	}
+	d := New(VSync, 1, 0, 100)
+	e := New(VSync, 1, 0, 101)
+	if d.Hash() == e.Hash() {
+		t.Fatal("vsync hash collision on frame change")
+	}
+	if a.TypeHash() == d.TypeHash() {
+		t.Fatal("type hash collision")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(Tilt, 1, 0, 1, 2, 3, 4, 5, 6)
+	b := a.Clone()
+	b.Values[0] = 99
+	if a.Values[0] == 99 {
+		t.Fatal("clone shares values")
+	}
+}
+
+// --- synthesizer ---
+
+func synth() *Synthesizer { return NewSynthesizer(DefaultSynthesizerConfig()) }
+
+func touchSeq(s *Synthesizer, pts [][3]int64) []*Event {
+	var out []*Event
+	for i, p := range pts {
+		phase := sensors.TouchMove
+		if i == 0 {
+			phase = sensors.TouchDown
+		} else if i == len(pts)-1 {
+			phase = sensors.TouchUp
+		}
+		out = append(out, s.Feed(sensors.TouchReading(units.Time(p[0]), phase, p[1], p[2], 500, 0))...)
+	}
+	return out
+}
+
+func TestTapClassification(t *testing.T) {
+	evs := touchSeq(synth(), [][3]int64{
+		{0, 300, 400},
+		{80_000, 302, 401},
+	})
+	if len(evs) != 1 || evs[0].Type != Tap {
+		t.Fatalf("expected one Tap, got %v", evs)
+	}
+	// Coordinates are quantized to the 8 px grid.
+	if evs[0].MustField("x")%8 != 0 || evs[0].MustField("y")%8 != 0 {
+		t.Fatal("tap coordinates not quantized")
+	}
+}
+
+func TestSwipeClassification(t *testing.T) {
+	pts := [][3]int64{{0, 200, 1500}}
+	for i := 1; i <= 8; i++ {
+		pts = append(pts, [3]int64{int64(i) * 25_000, 200 + int64(i)*60, 1500 - int64(i)*40})
+	}
+	evs := touchSeq(synth(), pts)
+	var swipes int
+	for _, e := range evs {
+		if e.Type == Swipe {
+			swipes++
+		}
+	}
+	if swipes != 1 {
+		t.Fatalf("expected one Swipe, got %v", evs)
+	}
+}
+
+func TestDragClassificationAndUpdates(t *testing.T) {
+	pts := [][3]int64{{0, 600, 1800}}
+	for i := 1; i <= 30; i++ {
+		pts = append(pts, [3]int64{int64(i) * 9_000, 600 - int64(i)*25, 1800 + int64(i)*25})
+	}
+	evs := touchSeq(synth(), pts)
+	var dragMoves, dragEnds int
+	for _, e := range evs {
+		if e.Type == Drag {
+			if e.MustField("phase") == 1 {
+				dragMoves++
+			} else {
+				dragEnds++
+			}
+		}
+	}
+	if dragMoves < 3 {
+		t.Fatalf("long pull produced %d drag updates, want several", dragMoves)
+	}
+	if dragEnds != 1 {
+		t.Fatalf("drag ends %d, want 1", dragEnds)
+	}
+}
+
+func TestGyroQuantizationSuppression(t *testing.T) {
+	s := synth()
+	e1 := s.Feed(sensors.GyroReading(0, 100, 200, 300))
+	if len(e1) != 1 || e1[0].Type != Tilt {
+		t.Fatalf("first gyro reading: %v", e1)
+	}
+	// Sub-quantum tremor (±2° grid) produces no event.
+	e2 := s.Feed(sensors.GyroReading(100, 101, 201, 301))
+	if len(e2) != 0 {
+		t.Fatalf("tremor produced events: %v", e2)
+	}
+	// A real turn does.
+	e3 := s.Feed(sensors.GyroReading(200, 160, 200, 300))
+	if len(e3) != 1 {
+		t.Fatalf("turn missed: %v", e3)
+	}
+	if e3[0].MustField("dalpha") == 0 {
+		t.Fatal("delta fields not populated")
+	}
+}
+
+func TestShakeThreshold(t *testing.T) {
+	s := synth()
+	if evs := s.Feed(sensors.AccelReading(0, 100, 100, 100)); len(evs) != 0 {
+		t.Fatalf("weak accel made events: %v", evs)
+	}
+	if evs := s.Feed(sensors.AccelReading(1, 2000, 100, 100)); len(evs) != 1 || evs[0].Type != Shake {
+		t.Fatalf("strong accel: %v", evs)
+	}
+}
+
+func TestCameraAndGPSEvents(t *testing.T) {
+	s := synth()
+	evs := s.Feed(sensors.CameraReading(0, 101, 4, 120))
+	if len(evs) != 1 || evs[0].Type != CameraFrame {
+		t.Fatalf("camera: %v", evs)
+	}
+	evs = s.Feed(sensors.GPSReading(0, 1, 2))
+	if len(evs) != 1 || evs[0].Type != GPSFix {
+		t.Fatalf("gps: %v", evs)
+	}
+}
+
+func TestSynthesizeAllEmitsVSync(t *testing.T) {
+	s := synth()
+	var stream sensors.Stream
+	stream.Append(sensors.GyroReading(0, 0, 0, 0))
+	stream.Append(sensors.GyroReading(units.Second, 900, 0, 0))
+	evs := s.SynthesizeAll(&stream)
+	var vsyncs int
+	for _, e := range evs {
+		if e.Type == VSync {
+			vsyncs++
+		}
+	}
+	// 60 fps over 1 s ≈ 60 frames.
+	if vsyncs < 55 || vsyncs > 65 {
+		t.Fatalf("vsync count %d over 1s", vsyncs)
+	}
+	// Events must be deliverable in time order after a stable sort.
+	d := NewDispatcher()
+	d.Enqueue(evs...)
+	d.Sort()
+	var last units.Time
+	var count int
+	d.RegisterAll(HandlerFunc(func(e *Event) {
+		if e.Time < last {
+			t.Fatalf("out of order delivery: %v after %v", e.Time, last)
+		}
+		last = e.Time
+		count++
+	}))
+	d.Drain()
+	if count != len(evs) {
+		t.Fatalf("delivered %d of %d", count, len(evs))
+	}
+	if d.Pending() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestDispatcherRouting(t *testing.T) {
+	d := NewDispatcher()
+	var taps, others int
+	d.Register(Tap, HandlerFunc(func(e *Event) { taps++ }))
+	d.RegisterAll(HandlerFunc(func(e *Event) { others++ }))
+	d.Enqueue(New(Tap, 0, 0, 1, 2, 3, 0, 1), New(VSync, 1, 1, 7))
+	d.Drain()
+	if taps != 1 || others != 1 {
+		t.Fatalf("taps=%d others=%d", taps, others)
+	}
+}
+
+func TestDeliveryCostPositive(t *testing.T) {
+	w := DeliveryCost(New(CameraFrame, 0, 0, 1, 2, 3, 4))
+	if w.CPUInstr <= 0 || len(w.IPCalls) != 1 || w.IPCalls[0].Duration <= 0 {
+		t.Fatalf("delivery cost %+v", w)
+	}
+	// Bigger events cost more to ship across Binder.
+	small := DeliveryCost(New(VSync, 0, 0, 1))
+	if w.CPUInstr <= small.CPUInstr {
+		t.Fatal("camera frame should cost more than a vsync tick")
+	}
+}
+
+func TestQuantizationCollapsesNearbyTaps(t *testing.T) {
+	// Property: taps within the same 8 px cell and pressure bucket
+	// synthesize identical (hash-equal) events — the source of the
+	// paper's exactly-repeated events.
+	f := func(x0 uint16, y0 uint16, dx, dy uint8) bool {
+		x := int64(x0%1400) + 8
+		y := int64(y0%2500) + 8
+		jx := int64(dx % 8)
+		jy := int64(dy % 8)
+		base := x / 8 * 8
+		basey := y / 8 * 8
+		if base+jx >= base+8 || basey+jy >= basey+8 {
+			return true
+		}
+		s1 := synth()
+		e1 := touchSeq(s1, [][3]int64{{0, base, basey}, {80_000, base, basey}})
+		s2 := synth()
+		e2 := touchSeq(s2, [][3]int64{{0, base + jx, basey + jy}, {80_000, base + jx, basey + jy}})
+		if len(e1) != 1 || len(e2) != 1 {
+			return true
+		}
+		if e1[0].Type != Tap || e2[0].Type != Tap {
+			return true
+		}
+		return e1[0].MustField("x") == e2[0].MustField("x") &&
+			e1[0].MustField("y") == e2[0].MustField("y")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

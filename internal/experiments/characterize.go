@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"snip/internal/energy"
+	"snip/internal/schemes"
+	"snip/internal/stats"
+)
+
+// Fig2Result is the per-game energy breakdown of Fig. 2: the fraction of
+// total SoC energy consumed by sensors, memory, CPU and IPs. The paper's
+// observation: sensors+memory stay under 10%, CPU takes 40–60%, IPs the
+// rest.
+type Fig2Result struct {
+	Games  []string
+	Shares [][energy.NumGroups]float64 // per game, in group order
+}
+
+// Fig2EnergyBreakdown runs a baseline session per game and measures the
+// component-group energy split.
+func Fig2EnergyBreakdown(cfg Config) (*Fig2Result, error) {
+	res := &Fig2Result{}
+	for _, g := range GameNames() {
+		r, err := schemes.Run(schemes.Config{
+			Game: g, Seed: cfg.DeploySeed, Duration: cfg.Duration(), Scheme: schemes.Baseline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Games = append(res.Games, g)
+		res.Shares = append(res.Shares, r.Breakdown)
+	}
+	return res, nil
+}
+
+// Table converts the result into labelled series (one per group).
+func (r *Fig2Result) Table() *stats.Table {
+	t := &stats.Table{Title: "Fig 2: normalized energy breakdown", XName: "game"}
+	for gi := 0; gi < energy.NumGroups; gi++ {
+		s := &stats.Series{Name: energy.Group(gi).String()}
+		for i, g := range r.Games {
+			s.Append(g, r.Shares[i][gi])
+		}
+		t.AddSeries(s)
+	}
+	return t
+}
+
+// Fig3Result is the battery-drain characterization of Fig. 3: hours to
+// drain a full 3450 mAh battery per game, plus the idle-phone reference.
+type Fig3Result struct {
+	Games     []string
+	Hours     []float64
+	IdleHours float64
+}
+
+// Fig3BatteryDrain measures each game's average power draw and
+// extrapolates to a full battery drain, the paper's methodology.
+func Fig3BatteryDrain(cfg Config) (*Fig3Result, error) {
+	res := &Fig3Result{IdleHours: schemes.IdlePhoneHours(nil)}
+	for _, g := range GameNames() {
+		r, err := schemes.Run(schemes.Config{
+			Game: g, Seed: cfg.DeploySeed, Duration: cfg.Duration(), Scheme: schemes.Baseline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Games = append(res.Games, g)
+		res.Hours = append(res.Hours, r.BatteryHours())
+	}
+	return res, nil
+}
+
+// Table converts the result into a labelled series.
+func (r *Fig3Result) Table() *stats.Table {
+	t := &stats.Table{Title: "Fig 3: battery drain (hours, 3450 mAh)", XName: "game"}
+	s := &stats.Series{Name: "hours"}
+	s.Append("IdlePhone", r.IdleHours)
+	for i, g := range r.Games {
+		s.Append(g, r.Hours[i])
+	}
+	t.AddSeries(s)
+	return t
+}
+
+// Fig4Result is the useless-event characterization of Fig. 4: the
+// fraction of events that changed no game state, and the fraction of
+// battery energy wasted processing them.
+type Fig4Result struct {
+	Games         []string
+	UselessEvents []float64
+	WastedEnergy  []float64
+	// Repeated / Redundant are the §I statistics over user-gesture
+	// events: exact input repeats (2–5% in the paper) and exact output
+	// repeats (17–43%).
+	Repeated  []float64
+	Redundant []float64
+}
+
+// Fig4UselessEvents runs baseline sessions with ground-truth state-change
+// tracking.
+func Fig4UselessEvents(cfg Config) (*Fig4Result, error) {
+	res := &Fig4Result{}
+	for _, g := range GameNames() {
+		r, err := schemes.Profile(g, cfg.DeploySeed, cfg.Duration())
+		if err != nil {
+			return nil, err
+		}
+		res.Games = append(res.Games, g)
+		res.UselessEvents = append(res.UselessEvents, r.UselessFraction())
+		res.WastedEnergy = append(res.WastedEnergy, float64(r.UselessEnergy)/float64(r.Energy))
+		user := r.Dataset.FilterTypes("vsync")
+		res.Repeated = append(res.Repeated, user.RepeatedFraction())
+		res.Redundant = append(res.Redundant, user.RedundantFraction())
+	}
+	return res, nil
+}
+
+// Table converts the result into labelled series.
+func (r *Fig4Result) Table() *stats.Table {
+	t := &stats.Table{Title: "Fig 4: useless events and wasted energy", XName: "game"}
+	ue := &stats.Series{Name: "% useless events"}
+	we := &stats.Series{Name: "% energy wasted"}
+	for i, g := range r.Games {
+		ue.Append(g, 100*r.UselessEvents[i])
+		we.Append(g, 100*r.WastedEnergy[i])
+	}
+	t.AddSeries(ue)
+	t.AddSeries(we)
+	return t
+}

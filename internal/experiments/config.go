@@ -1,0 +1,95 @@
+// Package experiments regenerates every table and figure of the paper's
+// characterization and evaluation sections (Figs. 2–4, 6–9, 11, 12 and
+// Table I, plus the §VII-C backend-cost discussion). Each experiment is a
+// pure function of its Config, returning structured results that
+// internal/report renders and bench_test.go regenerates.
+package experiments
+
+import (
+	"snip/internal/games"
+	"snip/internal/memo"
+	"snip/internal/pfi"
+	"snip/internal/schemes"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+// Config fixes the workload scale and seeds shared by all experiments.
+type Config struct {
+	// SessionSeconds is the simulated length of one play session.
+	SessionSeconds int
+	// ProfileSessions is how many training sessions feed the cloud
+	// profiler before a table is built (continuous profiling volume).
+	ProfileSessions int
+	// DeploySeed is the session the deployed table is evaluated on
+	// (distinct from every profile seed).
+	DeploySeed uint64
+	// ProfileSeedBase is the first profile-session seed.
+	ProfileSeedBase uint64
+	// PFI tunes the necessary-input selection.
+	PFI pfi.Config
+}
+
+// DefaultConfig returns the scale used throughout the repository: 45 s
+// sessions, 8 profile sessions per game — small enough to run every
+// figure in seconds, large enough for the published shape to emerge.
+func DefaultConfig() Config {
+	return Config{
+		SessionSeconds:  45,
+		ProfileSessions: 8,
+		DeploySeed:      1,
+		ProfileSeedBase: 0xA1,
+		PFI:             pfi.DefaultConfig(),
+	}
+}
+
+// Duration returns the session length as simulated time.
+func (c Config) Duration() units.Time {
+	return units.Time(c.SessionSeconds) * units.Second
+}
+
+// GameNames returns the seven games in the paper's complexity order.
+func GameNames() []string { return games.Names() }
+
+// profile builds the merged multi-session profile of one game.
+func (c Config) profile(game string) (*trace.Dataset, error) {
+	ds := &trace.Dataset{Game: game}
+	for i := 0; i < c.ProfileSessions; i++ {
+		r, err := schemes.Profile(game, c.ProfileSeedBase+uint64(i), c.Duration())
+		if err != nil {
+			return nil, err
+		}
+		ds.Merge(r.Dataset)
+	}
+	return ds, nil
+}
+
+// buildTable profiles a game, runs PFI with the game's developer
+// overrides (§V-B Option 1) and returns the deployable table plus the
+// PFI result.
+func (c Config) buildTable(game string) (*memo.SnipTable, *pfi.Result, *trace.Dataset, error) {
+	prof, err := c.profile(game)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pfiCfg := c.PFI
+	g, err := games.New(game)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if ov := g.Overrides(); len(ov) > 0 {
+		merged := make(map[string]bool, len(ov))
+		for k, v := range pfiCfg.ForceInclude {
+			merged[k] = v
+		}
+		for _, f := range ov {
+			merged[f] = true
+		}
+		pfiCfg.ForceInclude = merged
+	}
+	res, err := pfi.Run(prof, pfiCfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return memo.BuildSnip(prof, res.Selection), res, prof, nil
+}

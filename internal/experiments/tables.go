@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snip/internal/memo"
+	"snip/internal/stats"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+// Fig6Result is the naive-lookup-table blowup of Fig. 6: the table size
+// needed to short-circuit increasing fractions of AB Evolution's
+// execution (coverage weighted by dynamic instructions). The paper's
+// landmarks: 5 GB for 1% coverage, beyond memory (6 GB) at 3%, beyond a
+// 64 GB SD card at 39%.
+type Fig6Result struct {
+	Game        string
+	RecordWidth units.Size // union input record width
+	Rows        int
+	Curve       []memo.CoveragePoint
+	MaxCoverage float64
+}
+
+// Fig6NaiveTableSize builds the §III naive table over the profile of one
+// game (AB Evolution in the paper).
+func Fig6NaiveTableSize(cfg Config, game string) (*Fig6Result, error) {
+	prof, err := cfg.profile(game)
+	if err != nil {
+		return nil, err
+	}
+	t := memo.BuildNaive(prof)
+	curve := t.CoverageCurve(prof.TotalInstr())
+	res := &Fig6Result{Game: game, Rows: t.Rows(), Curve: curve}
+	res.RecordWidth, _ = t.RecordWidth()
+	if len(curve) > 0 {
+		res.MaxCoverage = curve[len(curve)-1].Coverage
+	}
+	return res, nil
+}
+
+// SizeAt returns the interpolated table size for a coverage target and
+// whether that coverage is attainable.
+func (r *Fig6Result) SizeAt(target float64) (units.Size, bool) {
+	for _, p := range r.Curve {
+		if p.Coverage >= target {
+			return p.Size, true
+		}
+	}
+	if len(r.Curve) == 0 {
+		return 0, false
+	}
+	return r.Curve[len(r.Curve)-1].Size, false
+}
+
+// Table renders selected curve points.
+func (r *Fig6Result) Table() *stats.Table {
+	t := &stats.Table{Title: "Fig 6: naive lookup table size vs coverage (" + r.Game + ")", XName: "coverage"}
+	s := &stats.Series{Name: "size (MB)"}
+	for _, target := range []float64{0.01, 0.03, 0.05, 0.10, 0.20, 0.30, 0.39} {
+		sz, ok := r.SizeAt(target)
+		if !ok {
+			break
+		}
+		s.Append(fmt.Sprintf("%.0f%%", 100*target), float64(sz)/float64(units.MB))
+	}
+	t.AddSeries(s)
+	return t
+}
+
+// Fig7Result is the input/output size characterization of Fig. 7: per
+// category, how often the category appears in event executions and the
+// spread of its per-record sizes.
+type Fig7Result struct {
+	Game       string
+	Occurrence [trace.NumCategories]float64
+	// P10/P50/P90/Max are size quantiles (bytes) over records where the
+	// category occurs.
+	P10, P50, P90, Max [trace.NumCategories]float64
+}
+
+// Fig7InputOutputCDF characterizes one game's profile (AB Evolution in
+// the paper).
+func Fig7InputOutputCDF(cfg Config, game string) (*Fig7Result, error) {
+	prof, err := cfg.profile(game)
+	if err != nil {
+		return nil, err
+	}
+	cdfs, occ := prof.SizeCDFs()
+	res := &Fig7Result{Game: game, Occurrence: occ}
+	for c := 0; c < trace.NumCategories; c++ {
+		if cdfs[c].N() == 0 {
+			continue
+		}
+		res.P10[c] = cdfs[c].Quantile(0.10)
+		res.P50[c] = cdfs[c].Quantile(0.50)
+		res.P90[c] = cdfs[c].Quantile(0.90)
+		_, hi := cdfs[c].Range()
+		res.Max[c] = hi
+	}
+	return res, nil
+}
+
+// Table renders occurrence and median size per category.
+func (r *Fig7Result) Table() *stats.Table {
+	t := &stats.Table{Title: "Fig 7: input/output size spread (" + r.Game + ")", XName: "category"}
+	occ := &stats.Series{Name: "occurrence"}
+	med := &stats.Series{Name: "median size (B)"}
+	max := &stats.Series{Name: "max size (B)"}
+	for c := 0; c < trace.NumCategories; c++ {
+		name := trace.Category(c).String()
+		occ.Append(name, r.Occurrence[c])
+		med.Append(name, r.P50[c])
+		max.Append(name, r.Max[c])
+	}
+	t.AddSeries(occ)
+	t.AddSeries(med)
+	t.AddSeries(max)
+	return t
+}
+
+// Fig8Result is the In.Event-only table study of Fig. 8: a small table
+// (≈1.5% of the naive size in the paper) that covers a useful chunk of
+// execution but is ambiguous for part of it, and whose erroneous output
+// fields split between tolerable Out.Temp (44%) and execution-corrupting
+// Out.History/Out.Extern (56%).
+type Fig8Result struct {
+	Game          string
+	NaiveSize     units.Size
+	EventOnlySize units.Size
+	SizeRatio     float64
+	Stats         memo.EventOnlyStats
+}
+
+// Fig8EventOnlyTable builds and evaluates the §IV-B table for one game.
+// Like the paper's characterization, it studies the SENSOR-driven events
+// (the frame-callback ticks have no sensor payload to index on).
+func Fig8EventOnlyTable(cfg Config, game string) (*Fig8Result, error) {
+	prof, err := cfg.profile(game)
+	if err != nil {
+		return nil, err
+	}
+	sensorProf := prof.FilterTypes("vsync")
+	naive := memo.BuildNaive(prof)
+	ev := memo.BuildEventOnly(sensorProf)
+	res := &Fig8Result{
+		Game:          game,
+		NaiveSize:     naive.Size(),
+		EventOnlySize: ev.Size(),
+		Stats:         ev.Evaluate(sensorProf),
+	}
+	if res.NaiveSize > 0 {
+		res.SizeRatio = float64(res.EventOnlySize) / float64(res.NaiveSize)
+	}
+	return res, nil
+}
+
+// ErrorBreakdown returns the Temp vs History+Extern split of erroneous
+// output fields (Fig. 8b).
+func (r *Fig8Result) ErrorBreakdown() (tempFrac, persistentFrac float64) {
+	total := r.Stats.ErrTempFields + r.Stats.ErrHistoryFields + r.Stats.ErrExternFields
+	if total == 0 {
+		return 0, 0
+	}
+	tempFrac = float64(r.Stats.ErrTempFields) / float64(total)
+	return tempFrac, 1 - tempFrac
+}

@@ -1,0 +1,66 @@
+package games
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factory constructs a fresh game instance.
+type Factory func() Game
+
+var catalog = map[string]Factory{
+	"Colorphun":    NewColorphun,
+	"MemoryGame":   NewMemoryGame,
+	"CandyCrush":   NewCandyCrush,
+	"Greenwall":    NewGreenwall,
+	"ABEvolution":  NewABEvolution,
+	"ChaseWhisply": NewChaseWhisply,
+	"RaceKings":    NewRaceKings,
+}
+
+// paperOrder is the x-axis ordering the paper uses in Figs. 2–4: sorted by
+// complexity of game play, lightest first.
+var paperOrder = []string{
+	"Colorphun",
+	"MemoryGame",
+	"CandyCrush",
+	"Greenwall",
+	"ABEvolution",
+	"ChaseWhisply",
+	"RaceKings",
+}
+
+// Names returns all game names in the paper's complexity order.
+func Names() []string { return append([]string(nil), paperOrder...) }
+
+// New builds a game by name.
+func New(name string) (Game, error) {
+	f, ok := catalog[name]
+	if !ok {
+		known := make([]string, 0, len(catalog))
+		for k := range catalog {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("games: unknown game %q (known: %v)", name, known)
+	}
+	return f(), nil
+}
+
+// MustNew builds a game by name and panics on an unknown name.
+func MustNew(name string) Game {
+	g, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// All returns fresh instances of every game in paper order.
+func All() []Game {
+	out := make([]Game, 0, len(paperOrder))
+	for _, n := range paperOrder {
+		out = append(out, MustNew(n))
+	}
+	return out
+}

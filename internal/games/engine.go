@@ -1,0 +1,456 @@
+// Package games implements the seven game workloads the paper
+// characterizes (Colorphun, Memory Game, Candy Crush, Greenwall,
+// AB Evolution, Chase Whisply, Race Kings) on top of a small event-driven
+// game engine. Each game is a deterministic state machine whose handlers:
+//
+//   - read In.Event fields from the event object, In.History fields from
+//     the game's state store, and In.Extern fields from outside sources;
+//   - burn CPU work (as named functions, so the Max CPU baseline can
+//     memoize them individually) and invoke accelerator IPs;
+//   - write Out.Temp, Out.History and Out.Extern fields.
+//
+// Every read and write is captured in a trace.Record, which is what the
+// profiler ships to the cloud and what PFI trains on. Redundant and
+// useless events are not injected — they emerge from game mechanics, e.g.
+// dragging AB Evolution's catapult past max stretch changes nothing.
+package games
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snip/internal/energy"
+	"snip/internal/events"
+	"snip/internal/rng"
+	"snip/internal/soc"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+// CPUFunc is one named CPU computation inside an event handler. The Max
+// CPU baseline memoizes at this granularity: a repeated (Name, InputHash)
+// pair lets prior-work techniques skip the function body.
+type CPUFunc struct {
+	Name      string
+	InputHash uint64
+	Instr     int64
+	MemBytes  units.Size
+	// Pure marks register-level computations whose inputs prior-work
+	// memoization can locate statically (paper Fig. 5a). Functions that
+	// chase dynamic heap structures (scene graphs, cascades, UI trees —
+	// Fig. 5b) are not memoizable by the Max CPU baseline.
+	Pure bool
+}
+
+// Execution is the result of processing one event: the trace record and
+// the hardware work, split so that schemes can run all, part, or none of
+// it.
+type Execution struct {
+	Record   *trace.Record
+	CPUFuncs []CPUFunc
+	IPCalls  []soc.IPCall
+}
+
+// Work assembles the full work unit (baseline execution).
+func (x *Execution) Work() soc.Work {
+	var w soc.Work
+	for _, f := range x.CPUFuncs {
+		w.CPUInstr += f.Instr
+		w.MemBytes += f.MemBytes
+	}
+	w.IPCalls = append(w.IPCalls, x.IPCalls...)
+	return w
+}
+
+// CPUWork assembles only the CPU segments whose (Name, InputHash) has not
+// been seen by the provided memo map; seen Pure segments are skipped
+// (impure segments always run — their inputs cannot be located apriori).
+// Passing nil runs everything. Used by the Max CPU scheme.
+func (x *Execution) CPUWork(seen map[string]map[uint64]bool) (w soc.Work, skippedInstr int64) {
+	for _, f := range x.CPUFuncs {
+		if seen != nil && f.Pure {
+			byHash := seen[f.Name]
+			if byHash != nil && byHash[f.InputHash] {
+				skippedInstr += f.Instr
+				continue
+			}
+			if byHash == nil {
+				byHash = make(map[uint64]bool)
+				seen[f.Name] = byHash
+			}
+			byHash[f.InputHash] = true
+		}
+		w.CPUInstr += f.Instr
+		w.MemBytes += f.MemBytes
+	}
+	return w, skippedInstr
+}
+
+// Game is one simulated game workload.
+type Game interface {
+	// Name returns the game's display name as used in the paper's figures.
+	Name() string
+	// Reset reinitializes all state deterministically from a seed.
+	Reset(seed uint64)
+	// Types returns the event types the game registers handlers for.
+	Types() []events.Type
+	// Process executes one event against current state, mutating it and
+	// returning the traced execution.
+	Process(e *events.Event) *Execution
+	// Clone returns an independent deep copy (for shadow execution when
+	// checking short-circuit correctness).
+	Clone() Game
+	// ApplyOutputs applies memoized Out.History outputs to the state
+	// without executing — the short-circuit path.
+	ApplyOutputs(fields []trace.Field)
+	// Overrides returns the developer-marked necessary input fields
+	// (§V-B Option 1): locations the developer knows the handlers branch
+	// on, fed to PFI as ForceInclude so rare-but-critical fields survive
+	// elimination even when the profile under-samples them.
+	Overrides() []string
+	// PeekField reads the live value of a traced input field by its
+	// record name ("state.foo", "state.bar.*") WITHOUT executing — what
+	// the SNIP runtime does when comparing necessary inputs before
+	// deciding to short-circuit. Returns ok=false for fields that cannot
+	// be read ahead of execution (e.g. "extern.*" network data).
+	PeekField(name string) (uint64, bool)
+	// StateHash digests all persistent state.
+	StateHash() uint64
+}
+
+// Store holds a game's mutable state as named int64 locations, each with
+// a modeled byte size (the size a real implementation's data would occupy
+// — what lookup-table records are charged for). Keeping ALL mutable state
+// here makes cloning and short-circuit output application generic.
+type Store struct {
+	vals  map[string]int64
+	sizes map[string]units.Size
+	// sorted is the cached key ordering for HashPrefix; nil when a key
+	// was added since the last hash.
+	sorted []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{vals: make(map[string]int64), sizes: make(map[string]units.Size)}
+}
+
+// Declare registers a location with its modeled size and initial value.
+func (s *Store) Declare(name string, size units.Size, init int64) {
+	if _, ok := s.vals[name]; !ok {
+		s.sorted = nil
+	}
+	s.vals[name] = init
+	s.sizes[name] = size
+}
+
+// Get returns the value at name (zero if undeclared).
+func (s *Store) Get(name string) int64 { return s.vals[name] }
+
+// Set stores a value, reporting whether it changed. Setting an undeclared
+// location declares it with size 8.
+func (s *Store) Set(name string, v int64) (changed bool) {
+	old, ok := s.vals[name]
+	if !ok {
+		s.sizes[name] = 8
+		s.sorted = nil
+	}
+	s.vals[name] = v
+	return !ok || old != v
+}
+
+// Size returns the modeled size of a location.
+func (s *Store) Size(name string) units.Size {
+	if sz, ok := s.sizes[name]; ok {
+		return sz
+	}
+	return 8
+}
+
+// HashPrefix digests all locations whose name starts with prefix, in
+// sorted key order, together with their summed size. Games use it to read
+// composite state blobs (a whole board, a scene mesh) as one In.History
+// field.
+func (s *Store) HashPrefix(prefix string) (hash uint64, size units.Size) {
+	if s.sorted == nil {
+		s.sorted = make([]string, 0, len(s.vals))
+		for k := range s.vals {
+			s.sorted = append(s.sorted, k)
+		}
+		sort.Strings(s.sorted)
+	}
+	hash = 1469598103934665603
+	for _, k := range s.sorted {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		hash = trace.Combine(hash, trace.HashString(k))
+		hash = trace.Combine(hash, uint64(s.vals[k]))
+		size += s.Size(k)
+	}
+	return hash, size
+}
+
+// Hash digests the entire store.
+func (s *Store) Hash() uint64 {
+	h, _ := s.HashPrefix("")
+	return h
+}
+
+// Clone deep-copies the store.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	c.sorted = s.sorted
+	for k, v := range s.vals {
+		c.vals[k] = v
+	}
+	for k, v := range s.sizes {
+		c.sizes[k] = v
+	}
+	return c
+}
+
+// Len returns the number of declared locations.
+func (s *Store) Len() int { return len(s.vals) }
+
+// Ctx is the execution context a handler records into. It implements the
+// tracer: every state read/write flows through it.
+type Ctx struct {
+	store *Store
+	rec   *trace.Record
+	exec  *Execution
+}
+
+func newCtx(store *Store, e *events.Event) *Ctx {
+	rec := &trace.Record{
+		EventSeq:     e.Seq,
+		EventType:    e.Type.String(),
+		EventHash:    e.Hash(),
+		Time:         e.Time,
+		PreStateHash: store.Hash(),
+	}
+	return &Ctx{store: store, rec: rec, exec: &Execution{Record: rec}}
+}
+
+// Event reads a field of the event object, logging an In.Event input.
+func (c *Ctx) Event(e *events.Event, name string) int64 {
+	v := e.MustField(name)
+	var size units.Size
+	for _, f := range events.Schema(e.Type) {
+		if f.Name == name {
+			size = f.Size
+			break
+		}
+	}
+	c.rec.Inputs = append(c.rec.Inputs, trace.Field{
+		Name:     "event." + e.Type.String() + "." + name,
+		Category: trace.InEvent,
+		Size:     size,
+		Value:    uint64(v),
+	})
+	return v
+}
+
+// Read reads a state location, logging an In.History input.
+func (c *Ctx) Read(name string) int64 {
+	v := c.store.Get(name)
+	c.rec.Inputs = append(c.rec.Inputs, trace.Field{
+		Name:     "state." + name,
+		Category: trace.InHistory,
+		Size:     c.store.Size(name),
+		Value:    uint64(v),
+	})
+	return v
+}
+
+// ReadBlob reads a composite state region (all locations under prefix) as
+// one large In.History field, logging its combined hash and size.
+func (c *Ctx) ReadBlob(prefix string) uint64 {
+	h, size := c.store.HashPrefix(prefix)
+	c.rec.Inputs = append(c.rec.Inputs, trace.Field{
+		Name:     "state." + prefix + "*",
+		Category: trace.InHistory,
+		Size:     size,
+		Value:    h,
+	})
+	return h
+}
+
+// Extern reads data from outside the app (network, asset pack), logging
+// an In.Extern input of the given size.
+func (c *Ctx) Extern(name string, size units.Size, value int64) int64 {
+	c.rec.Inputs = append(c.rec.Inputs, trace.Field{
+		Name:     "extern." + name,
+		Category: trace.InExtern,
+		Size:     size,
+		Value:    uint64(value),
+	})
+	return value
+}
+
+// Write stores a value, logging an Out.History output. It marks the
+// record state-changed iff the value differs from the previous one.
+func (c *Ctx) Write(name string, v int64) {
+	changed := c.store.Set(name, v)
+	c.rec.Outputs = append(c.rec.Outputs, trace.Field{
+		Name:     "state." + name,
+		Category: trace.OutHistory,
+		Size:     c.store.Size(name),
+		Value:    uint64(v),
+	})
+	if changed {
+		c.rec.StateChanged = true
+	}
+}
+
+// Temp emits a transient user-facing output (frame tile, haptic buzz),
+// logging an Out.Temp output. Temp outputs never mark state changed.
+func (c *Ctx) Temp(name string, size units.Size, value uint64) {
+	c.rec.Outputs = append(c.rec.Outputs, trace.Field{
+		Name:     "temp." + name,
+		Category: trace.OutTemp,
+		Size:     size,
+		Value:    value,
+	})
+}
+
+// Send emits data leaving the device (score upload, multiplayer sync),
+// logging an Out.Extern output. Extern sends always count as a state
+// change: the outside world observed them.
+func (c *Ctx) Send(name string, size units.Size, value uint64) {
+	c.rec.Outputs = append(c.rec.Outputs, trace.Field{
+		Name:     "extern." + name,
+		Category: trace.OutExtern,
+		Size:     size,
+		Value:    value,
+	})
+	c.rec.StateChanged = true
+}
+
+// Rand draws a pseudo-random value in [0, mod) from the game's OWN traced
+// PRNG state. Randomness lives in the store ("rngstate") so that it is an
+// honest In.History input: outputs that depend on fresh randomness are
+// only memoizable when the PRNG state itself matches, exactly as in a
+// real game whose RNG lives in memory.
+func (c *Ctx) Rand(mod int64) int64 {
+	s := c.Read("rngstate")
+	s = s*6364136223846793005 + 1442695040888963407
+	c.Write("rngstate", s)
+	v := (s >> 17) % mod
+	if v < 0 {
+		v += mod
+	}
+	return v
+}
+
+// CPU records a named CPU computation that traverses dynamic memory
+// (not memoizable by prior-work CPU techniques).
+func (c *Ctx) CPU(name string, inputHash uint64, instr int64, mem units.Size) {
+	c.exec.CPUFuncs = append(c.exec.CPUFuncs, CPUFunc{
+		Name: name, InputHash: inputHash, Instr: instr, MemBytes: mem,
+	})
+}
+
+// CPUPure records a register-level CPU computation with statically
+// locatable inputs — the kind prior-work memoization (Max CPU) can reuse.
+func (c *Ctx) CPUPure(name string, inputHash uint64, instr int64, mem units.Size) {
+	c.exec.CPUFuncs = append(c.exec.CPUFuncs, CPUFunc{
+		Name: name, InputHash: inputHash, Instr: instr, MemBytes: mem, Pure: true,
+	})
+}
+
+// IP records an accelerator invocation.
+func (c *Ctx) IP(ip energy.Component, op string, inputHash uint64, dur units.Time, mem units.Size) {
+	c.exec.IPCalls = append(c.exec.IPCalls, soc.IPCall{
+		IP: ip, Op: op, InputHash: inputHash, Duration: dur, MemBytes: mem,
+	})
+}
+
+// finish computes the record's instruction weight: CPU instructions plus
+// an instruction-equivalent for IP busy time, so heavy-GPU events carry
+// the execution weight the paper's coverage metric gives them.
+func (c *Ctx) finish() *Execution {
+	var instr int64
+	for _, f := range c.exec.CPUFuncs {
+		instr += f.Instr
+	}
+	for _, ip := range c.exec.IPCalls {
+		instr += int64(ip.Duration) * 1200 // ≈ instructions a core would burn in that time
+	}
+	c.rec.Instr = instr
+	return c.exec
+}
+
+// base provides the shared Game plumbing: the store, deterministic
+// content RNG, and generic Clone/ApplyOutputs/StateHash.
+type base struct {
+	name  string
+	store *Store
+	rnd   *rng.Source
+	types []events.Type
+}
+
+func newBase(name string, types []events.Type) base {
+	return base{name: name, store: NewStore(), rnd: rng.New(1), types: types}
+}
+
+// Name implements Game.
+func (b *base) Name() string { return b.name }
+
+// Types implements Game.
+func (b *base) Types() []events.Type { return append([]events.Type(nil), b.types...) }
+
+// StateHash implements Game.
+func (b *base) StateHash() uint64 { return b.store.Hash() }
+
+// Overrides implements Game; games with developer annotations shadow it.
+func (b *base) Overrides() []string { return nil }
+
+// ApplyOutputs implements Game: Out.History fields are written straight
+// into the store (the short-circuit path).
+func (b *base) ApplyOutputs(fields []trace.Field) {
+	for _, f := range fields {
+		if f.Category != trace.OutHistory {
+			continue
+		}
+		name := strings.TrimPrefix(f.Name, "state.")
+		b.store.Set(name, int64(f.Value))
+	}
+}
+
+// PeekField implements Game: state fields resolve against the store
+// (including "prefix.*" blob digests); everything else is unreadable
+// before execution.
+func (b *base) PeekField(name string) (uint64, bool) {
+	n, ok := strings.CutPrefix(name, "state.")
+	if !ok {
+		return 0, false
+	}
+	if prefix, isBlob := strings.CutSuffix(n, "*"); isBlob {
+		h, _ := b.store.HashPrefix(prefix)
+		return h, true
+	}
+	return uint64(b.store.Get(n)), true
+}
+
+func (b *base) resetBase(seed uint64) {
+	b.store = NewStore()
+	b.rnd = rng.New(seed)
+}
+
+func (b *base) cloneBase() base {
+	c := *b
+	c.store = b.store.Clone()
+	// The RNG is part of game state (content generation order matters).
+	rc := *b.rnd
+	c.rnd = &rc
+	return c
+}
+
+func (b *base) ctx(e *events.Event) *Ctx { return newCtx(b.store, e) }
+
+// errUnhandled panics for event types the game did not register.
+func (b *base) errUnhandled(e *events.Event) {
+	panic(fmt.Sprintf("games: %s does not handle %v", b.name, e.Type))
+}

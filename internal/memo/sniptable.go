@@ -1,0 +1,335 @@
+package memo
+
+import (
+	"fmt"
+	"sort"
+
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+// SelectedField is one necessary input chosen by PFI.
+type SelectedField struct {
+	Name     string
+	Category trace.Category
+	Size     units.Size
+}
+
+// Selection maps each event type to its necessary input fields, in a
+// canonical (sorted) order. This is what PFI produces and what the cloud
+// ships to the device in an OTA update.
+type Selection map[string][]SelectedField
+
+// Canonicalize sorts each type's fields by name so key hashing is stable.
+func (s Selection) Canonicalize() {
+	for _, fs := range s {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+	}
+}
+
+// Width returns the summed byte size of the selected fields for an event
+// type.
+func (s Selection) Width(eventType string) units.Size {
+	var w units.Size
+	for _, f := range s[eventType] {
+		w += f.Size
+	}
+	return w
+}
+
+// StateWidth returns the byte size of the selected NON-In.Event fields —
+// the necessary inputs that must be loaded and compared per candidate
+// entry at lookup time (the Fig. 11c "PFI Input Size"). In.Event fields
+// are folded into the first-level hash index, mirroring the paper's
+// "indexed with the event hash-code" design.
+func (s Selection) StateWidth(eventType string) units.Size {
+	var w units.Size
+	for _, f := range s[eventType] {
+		if f.Category != trace.InEvent {
+			w += f.Size
+		}
+	}
+	return w
+}
+
+// TotalWidth sums the selected width across all event types.
+func (s Selection) TotalWidth() units.Size {
+	var w units.Size
+	for t := range s {
+		w += s.Width(t)
+	}
+	return w
+}
+
+// CategoryBytes returns the selected bytes per input category across all
+// event types (the Fig. 9 color coding).
+func (s Selection) CategoryBytes() map[trace.Category]units.Size {
+	out := make(map[trace.Category]units.Size)
+	for _, fs := range s {
+		for _, f := range fs {
+			out[f.Category] += f.Size
+		}
+	}
+	return out
+}
+
+// String summarizes the selection.
+func (s Selection) String() string {
+	types := make([]string, 0, len(s))
+	for t := range s {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	out := ""
+	for _, t := range types {
+		out += fmt.Sprintf("%s[%d fields, %v] ", t, len(s[t]), s.Width(t))
+	}
+	return out
+}
+
+// absentSentinel marks a selected field missing from a record or from the
+// runtime context when keying.
+const absentSentinel = 0xdeadbeefcafef00d
+
+// Resolver supplies live values for selected fields at lookup time:
+// "event.<type>.<field>" names resolve from the pending event object,
+// "state.*" names from the game's memory. It returns ok=false for fields
+// that cannot be read before execution (e.g. In.Extern data not yet
+// fetched).
+type Resolver func(name string) (uint64, bool)
+
+// keys computes the two-level key of a record under the selection: the
+// hash of the selected In.Event fields (the bucket index) and the hash of
+// the selected state/extern fields (compared linearly within the bucket).
+func (s Selection) keys(eventType string, value func(name string) (uint64, bool)) (eventKey, stateKey uint64) {
+	eventKey, stateKey = 1469598103934665603, 1469598103934665603
+	for _, sf := range s[eventType] {
+		v := uint64(absentSentinel)
+		if rv, ok := value(sf.Name); ok {
+			v = rv
+		}
+		if sf.Category == trace.InEvent {
+			eventKey = trace.Combine(eventKey, trace.HashString(sf.Name))
+			eventKey = trace.Combine(eventKey, v)
+		} else {
+			stateKey = trace.Combine(stateKey, trace.HashString(sf.Name))
+			stateKey = trace.Combine(stateKey, v)
+		}
+	}
+	return eventKey, stateKey
+}
+
+// KeysFromRecord computes the two-level key of a profiled record.
+func (s Selection) KeysFromRecord(r *trace.Record) (eventKey, stateKey uint64) {
+	return s.keys(r.EventType, func(name string) (uint64, bool) {
+		f, ok := r.Input(name)
+		return f.Value, ok
+	})
+}
+
+// KeysFromRuntime computes the two-level key from live values.
+func (s Selection) KeysFromRuntime(eventType string, resolve Resolver) (eventKey, stateKey uint64) {
+	return s.keys(eventType, resolve)
+}
+
+// SnipEntry is one row of the deployed table: the outputs to apply when
+// the necessary inputs match, plus bookkeeping for coverage estimation.
+type SnipEntry struct {
+	StateKey uint64
+	Outputs  []trace.Field
+	Instr    int64 // dynamic-instruction weight of the profiled execution
+	Hits     int64
+}
+
+// Bucket is the candidate list behind one event hash-code, scanned
+// linearly at lookup time exactly as the paper describes ("all the other
+// necessary inputs are loaded and compared against the corresponding
+// important input entries").
+type Bucket struct {
+	Order []*SnipEntry // insertion order, the scan order
+	ByKey map[uint64]*SnipEntry
+}
+
+// SnipTable is the deployed lookup table: first indexed by event type and
+// the hash of the selected In.Event fields (the "event hash-code"), then
+// resolved by comparing the necessary state inputs against each candidate
+// entry in the bucket.
+type SnipTable struct {
+	sel     Selection
+	buckets map[string]map[uint64]*Bucket
+
+	lookups        int64
+	hits           int64
+	comparedBytes  int64 // Σ probes × state width (Fig. 11c)
+	probes         int64
+	conflictedRows int64
+}
+
+// BuildSnip constructs the table from a profile under a selection.
+func BuildSnip(d *trace.Dataset, sel Selection) *SnipTable {
+	t := NewSnipTable(sel)
+	for _, r := range d.Records {
+		t.Insert(r)
+	}
+	return t
+}
+
+// NewSnipTable returns an empty table under a selection.
+func NewSnipTable(sel Selection) *SnipTable {
+	sel.Canonicalize()
+	return &SnipTable{sel: sel, buckets: make(map[string]map[uint64]*Bucket)}
+}
+
+// Selection returns the table's field selection.
+func (t *SnipTable) Selection() Selection { return t.sel }
+
+// Insert adds one profiled record. Records whose keys collide with a
+// different output record keep the first-profiled outputs; the conflict
+// count predicts the runtime error rate when PFI under-selects.
+func (t *SnipTable) Insert(r *trace.Record) {
+	byEvent := t.buckets[r.EventType]
+	if byEvent == nil {
+		byEvent = make(map[uint64]*Bucket)
+		t.buckets[r.EventType] = byEvent
+	}
+	ek, sk := t.sel.KeysFromRecord(r)
+	b := byEvent[ek]
+	if b == nil {
+		b = &Bucket{ByKey: make(map[uint64]*SnipEntry)}
+		byEvent[ek] = b
+	}
+	if e, ok := b.ByKey[sk]; ok {
+		if !sameOutputs(e.Outputs, r.Outputs) {
+			t.conflictedRows++
+		}
+		return
+	}
+	e := &SnipEntry{StateKey: sk, Outputs: r.Outputs, Instr: r.Instr}
+	b.ByKey[sk] = e
+	b.Order = append(b.Order, e)
+}
+
+func sameOutputs(a, b []trace.Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Value != b[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup probes the table for a pending event. On a hit it returns the
+// entry; either way it returns the lookup cost: how many candidate
+// entries were compared (probes) and the total necessary-input bytes
+// loaded and compared (probes × per-entry state width).
+func (t *SnipTable) Lookup(eventType string, resolve Resolver) (entry *SnipEntry, probes int64, comparedBytes units.Size, ok bool) {
+	t.lookups++
+	byEvent := t.buckets[eventType]
+	width := t.sel.StateWidth(eventType)
+	if byEvent == nil {
+		return nil, 0, 0, false
+	}
+	ek, sk := t.sel.KeysFromRuntime(eventType, resolve)
+	b := byEvent[ek]
+	if b == nil {
+		t.probes++
+		t.comparedBytes += int64(width)
+		return nil, 1, width, false
+	}
+	// The real implementation scans the bucket comparing necessary
+	// inputs entry by entry; the map gives us the answer, the Order
+	// index gives us the honest cost.
+	e, hit := b.ByKey[sk]
+	if !hit {
+		probes = int64(len(b.Order))
+	} else {
+		for i, cand := range b.Order {
+			if cand == e {
+				probes = int64(i + 1)
+				break
+			}
+		}
+	}
+	if probes == 0 {
+		probes = 1
+	}
+	comparedBytes = units.Size(probes) * width
+	t.probes += probes
+	t.comparedBytes += int64(comparedBytes)
+	if !hit {
+		return nil, probes, comparedBytes, false
+	}
+	t.hits++
+	e.Hits++
+	return e, probes, comparedBytes, true
+}
+
+// Rows returns the total number of entries.
+func (t *SnipTable) Rows() int {
+	n := 0
+	for _, byEvent := range t.buckets {
+		for _, b := range byEvent {
+			n += len(b.Order)
+		}
+	}
+	return n
+}
+
+// Buckets returns the number of first-level (event hash-code) buckets.
+func (t *SnipTable) Buckets() int {
+	n := 0
+	for _, byEvent := range t.buckets {
+		n += len(byEvent)
+	}
+	return n
+}
+
+// MaxBucket returns the largest bucket's entry count — the worst-case
+// comparison chain.
+func (t *SnipTable) MaxBucket() int {
+	max := 0
+	for _, byEvent := range t.buckets {
+		for _, b := range byEvent {
+			if len(b.Order) > max {
+				max = len(b.Order)
+			}
+		}
+	}
+	return max
+}
+
+// Size returns the deployed table size: per entry, the selected input
+// width of its type plus its stored output record.
+func (t *SnipTable) Size() units.Size {
+	var total units.Size
+	for et, byEvent := range t.buckets {
+		w := t.sel.Width(et)
+		for _, b := range byEvent {
+			for _, e := range b.Order {
+				rowOut := units.Size(0)
+				for _, f := range e.Outputs {
+					rowOut += f.Size
+				}
+				total += w + rowOut + 16 // key hash + bookkeeping
+			}
+		}
+	}
+	return total
+}
+
+// Stats returns lookup counters.
+func (t *SnipTable) Stats() (lookups, hits, probes, comparedBytes int64) {
+	return t.lookups, t.hits, t.probes, t.comparedBytes
+}
+
+// Conflicts returns how many profile rows disagreed with an existing
+// entry during the build.
+func (t *SnipTable) Conflicts() int64 { return t.conflictedRows }
+
+// ResetStats clears the runtime counters (not the contents).
+func (t *SnipTable) ResetStats() {
+	t.lookups, t.hits, t.probes, t.comparedBytes = 0, 0, 0, 0
+}

@@ -1,0 +1,37 @@
+package memo
+
+// Wire is the serializable form of a SnipTable for OTA delivery
+// (encoding/gob-friendly: only exported fields).
+type Wire struct {
+	Selection Selection
+	Buckets   map[string]map[uint64]*Bucket
+}
+
+// Export snapshots the table into its wire form. Entries are shared, not
+// copied; the exported value must be treated as read-only.
+func (t *SnipTable) Export() *Wire {
+	return &Wire{Selection: t.sel, Buckets: t.buckets}
+}
+
+// FromWire reconstructs a table from its wire form.
+func FromWire(w *Wire) *SnipTable {
+	if w.Buckets == nil {
+		w.Buckets = make(map[string]map[uint64]*Bucket)
+	}
+	for _, byEvent := range w.Buckets {
+		for _, b := range byEvent {
+			if b.ByKey == nil {
+				b.ByKey = make(map[uint64]*SnipEntry, len(b.Order))
+				for _, e := range b.Order {
+					b.ByKey[e.StateKey] = e
+				}
+			}
+		}
+	}
+	sel := w.Selection
+	if sel == nil {
+		sel = Selection{}
+	}
+	sel.Canonicalize()
+	return &SnipTable{sel: sel, buckets: w.Buckets}
+}

@@ -1,0 +1,444 @@
+// Package pfi implements Permutation Feature Importance-based selection
+// of necessary inputs — the core of SNIP (§V). Given a profiled dataset
+// of event executions, it:
+//
+//  1. trains a table predictor (necessary-input values → output record)
+//     per event type,
+//  2. ranks every input field by permutation importance: how much the
+//     prediction error grows when that field's column is shuffled across
+//     the validation records, and
+//  3. backward-eliminates fields, least important first, while the
+//     erroneous-output constraint holds — keeping errors out of the
+//     Out.History/Out.Extern categories that would corrupt execution
+//     (§IV-B), while tolerating slack in Out.Temp.
+//
+// The output is a memo.Selection: for each event type, the small set of
+// input fields (typically a few hundred bytes out of megabytes — the
+// paper's ≈0.2%) that must be compared at runtime to short-circuit the
+// event safely, plus the Fig. 9 trim curve.
+package pfi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"snip/internal/memo"
+	"snip/internal/rng"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+// Config tunes the selection process.
+type Config struct {
+	// TrainFrac splits each type's records into a training prefix and a
+	// validation suffix (temporal split, as continuous profiling would).
+	TrainFrac float64
+	// MaxNonTempError is ε: the maximum tolerated rate of erroneous
+	// Out.History/Out.Extern fields among short-circuited predictions.
+	MaxNonTempError float64
+	// MaxTempError bounds Out.Temp field errors; the paper tolerates
+	// these (wrong frame tile for <16 ms) so the default is generous.
+	MaxTempError float64
+	// Permutations is how many shuffles average each field's importance.
+	Permutations int
+	// Seed drives the permutation shuffles.
+	Seed uint64
+	// ForceInclude lists field names a developer marked as necessary
+	// (Option 1 in §V-B); they are never eliminated.
+	ForceInclude map[string]bool
+	// ForceExclude lists field names a developer marked droppable.
+	ForceExclude map[string]bool
+	// Log, when non-nil, receives a line per elimination decision.
+	Log io.Writer
+}
+
+// DefaultConfig returns the standard tuning.
+func DefaultConfig() Config {
+	return Config{
+		TrainFrac: 0.6,
+		// The paper's operating point (Fig. 9): ~1% erroneous output
+		// fields tolerated; recovering the last 1% would require ALL
+		// remaining input fields.
+		MaxNonTempError: 0.002,
+		// Out.Temp errors are tolerable by design (§IV-B): a wrong frame
+		// tile shows for <16 ms. No constraint.
+		MaxTempError: 0.10,
+		Permutations: 3,
+		Seed:         42,
+	}
+}
+
+// FieldImportance is one field's permutation-importance measurement.
+type FieldImportance struct {
+	Name       string
+	Category   trace.Category
+	Size       units.Size
+	EventType  string
+	Importance float64 // error increase when the column is permuted
+}
+
+// TrimPoint is one step of the Fig. 9 curve: the remaining selected
+// bytes after a (attempted) field drop, and the resulting error rates.
+type TrimPoint struct {
+	SelectedBytes   units.Size
+	NonTempError    float64
+	TempError       float64
+	Coverage        float64
+	DroppedField    string
+	DroppedCategory trace.Category
+	Accepted        bool
+}
+
+// Metrics summarizes a selection's validation quality.
+type Metrics struct {
+	Coverage     float64 // instruction-weighted fraction of validation hits
+	NonTempError float64 // erroneous History/Extern fields per predicted such field
+	TempError    float64 // erroneous Temp fields per predicted Temp field
+	FieldError   float64 // all erroneous fields per predicted field
+}
+
+// Result is the outcome of a PFI run.
+type Result struct {
+	Selection  memo.Selection
+	Importance []FieldImportance
+	Curve      []TrimPoint
+	Final      Metrics
+	// InputBytesTotal is the union input width PFI started from;
+	// SelectedBytes what survived — the paper's "1.2 kB out of 1 MB".
+	InputBytesTotal units.Size
+	SelectedBytes   units.Size
+}
+
+// fieldMeta describes one input field location within one event type.
+type fieldMeta struct {
+	name     string
+	category trace.Category
+	size     units.Size
+}
+
+// typeData is the per-event-type training matrix.
+type typeData struct {
+	eventType string
+	fields    []fieldMeta
+	train     []*trace.Record
+	valid     []*trace.Record
+}
+
+// Run executes PFI over a profile and returns the necessary-input
+// selection.
+func Run(d *trace.Dataset, cfg Config) (*Result, error) {
+	if len(d.Records) == 0 {
+		return nil, fmt.Errorf("pfi: empty profile")
+	}
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		return nil, fmt.Errorf("pfi: TrainFrac must be in (0,1), got %v", cfg.TrainFrac)
+	}
+	if cfg.Permutations <= 0 {
+		cfg.Permutations = 1
+	}
+	r := rng.New(cfg.Seed)
+	res := &Result{Selection: memo.Selection{}}
+	res.InputBytesTotal = d.UnionInputWidth()
+
+	for _, td := range splitByType(d, cfg.TrainFrac) {
+		sel, imps, curve := selectForType(td, cfg, r.Split())
+		res.Selection[td.eventType] = sel
+		res.Importance = append(res.Importance, imps...)
+		res.Curve = append(res.Curve, curve...)
+	}
+	res.Selection.Canonicalize()
+	res.SelectedBytes = res.Selection.TotalWidth()
+	res.Final = Evaluate(d, res.Selection, cfg.TrainFrac)
+	return res, nil
+}
+
+// splitByType partitions the dataset per event type with a temporal
+// train/validation split.
+func splitByType(d *trace.Dataset, trainFrac float64) []*typeData {
+	byType := make(map[string]*typeData)
+	var order []string
+	for _, rec := range d.Records {
+		td, ok := byType[rec.EventType]
+		if !ok {
+			td = &typeData{eventType: rec.EventType}
+			byType[rec.EventType] = td
+			order = append(order, rec.EventType)
+		}
+		td.train = append(td.train, rec) // temporarily hold all
+	}
+	var out []*typeData
+	for _, t := range order {
+		td := byType[t]
+		all := td.train
+		n := int(float64(len(all)) * trainFrac)
+		if n < 1 {
+			n = 1
+		}
+		if n >= len(all) {
+			n = len(all) - 1
+		}
+		if n < 1 {
+			continue // a single record cannot be split; skip the type
+		}
+		td.train, td.valid = all[:n], all[n:]
+		td.fields = fieldUniverse(all)
+		out = append(out, td)
+	}
+	return out
+}
+
+func fieldUniverse(recs []*trace.Record) []fieldMeta {
+	seen := make(map[string]*fieldMeta)
+	var order []string
+	for _, rec := range recs {
+		for _, f := range rec.Inputs {
+			if m, ok := seen[f.Name]; ok {
+				if f.Size > m.size {
+					m.size = f.Size
+				}
+				continue
+			}
+			seen[f.Name] = &fieldMeta{name: f.Name, category: f.Category, size: f.Size}
+			order = append(order, f.Name)
+		}
+	}
+	out := make([]fieldMeta, 0, len(order))
+	for _, n := range order {
+		out = append(out, *seen[n])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// model is the table predictor over a field subset.
+type model struct {
+	fields []string // selected field names, sorted
+	rows   map[uint64][]trace.Field
+	instr  map[uint64]int64
+}
+
+func trainModel(recs []*trace.Record, fields []string) *model {
+	m := &model{fields: fields, rows: make(map[uint64][]trace.Field), instr: make(map[uint64]int64)}
+	for _, rec := range recs {
+		k := keyOf(rec, fields, nil)
+		if _, ok := m.rows[k]; !ok {
+			m.rows[k] = rec.Outputs
+			m.instr[k] = rec.Instr
+		}
+	}
+	return m
+}
+
+// keyOf hashes the record's values of the given fields; override (may be
+// nil) substitutes values for permutation-importance shuffles.
+func keyOf(rec *trace.Record, fields []string, override map[string]uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, name := range fields {
+		v := uint64(0xdeadbeefcafef00d) // absent sentinel (matches memo)
+		if ov, ok := override[name]; ok {
+			v = ov
+		} else if f, ok := rec.Input(name); ok {
+			v = f.Value
+		}
+		h = trace.Combine(h, trace.HashString(name))
+		h = trace.Combine(h, v)
+	}
+	return h
+}
+
+// evalCounts accumulates the error metrics of one evaluation pass.
+type evalCounts struct {
+	totalInstr, hitInstr    int64
+	predNonTemp, errNonTemp int64
+	predTemp, errTemp       int64
+}
+
+func (c evalCounts) metrics() Metrics {
+	var m Metrics
+	if c.totalInstr > 0 {
+		m.Coverage = float64(c.hitInstr) / float64(c.totalInstr)
+	}
+	if c.predNonTemp > 0 {
+		m.NonTempError = float64(c.errNonTemp) / float64(c.predNonTemp)
+	}
+	if c.predTemp > 0 {
+		m.TempError = float64(c.errTemp) / float64(c.predTemp)
+	}
+	if t := c.predNonTemp + c.predTemp; t > 0 {
+		m.FieldError = float64(c.errNonTemp+c.errTemp) / float64(t)
+	}
+	return m
+}
+
+// evalModel replays validation records against the model, optionally with
+// one column overridden (for permutation importance).
+func evalModel(m *model, valid []*trace.Record, override map[int]map[string]uint64) evalCounts {
+	var c evalCounts
+	for i, rec := range valid {
+		c.totalInstr += rec.Instr
+		var ov map[string]uint64
+		if override != nil {
+			ov = override[i]
+		}
+		k := keyOf(rec, m.fields, ov)
+		pred, ok := m.rows[k]
+		if !ok {
+			continue
+		}
+		c.hitInstr += rec.Instr
+		predicted := make(map[string]uint64, len(pred))
+		for _, f := range pred {
+			predicted[f.Name] = f.Value
+		}
+		for _, f := range rec.Outputs {
+			match := false
+			if pv, ok := predicted[f.Name]; ok && pv == f.Value {
+				match = true
+			}
+			if f.Category == trace.OutTemp {
+				c.predTemp++
+				if !match {
+					c.errTemp++
+				}
+			} else {
+				c.predNonTemp++
+				if !match {
+					c.errNonTemp++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// selectForType runs importance ranking and backward elimination for one
+// event type.
+func selectForType(td *typeData, cfg Config, r *rng.Source) ([]memo.SelectedField, []FieldImportance, []TrimPoint) {
+	names := make([]string, len(td.fields))
+	metaByName := make(map[string]fieldMeta, len(td.fields))
+	for i, f := range td.fields {
+		names[i] = f.name
+		metaByName[f.name] = f
+	}
+
+	full := trainModel(td.train, names)
+	base := evalModel(full, td.valid, nil).metrics()
+
+	// Permutation importance: shuffle one column's values across the
+	// validation records and measure the error increase. Errors in
+	// History/Extern outputs are weighted 10× over Temp — the categories
+	// whose corruption poisons future execution.
+	score := func(m Metrics) float64 { return 10*m.NonTempError + m.TempError }
+	imps := make([]FieldImportance, 0, len(names))
+	for _, name := range names {
+		var total float64
+		for p := 0; p < cfg.Permutations; p++ {
+			// Collect the column, shuffle, build per-record overrides.
+			vals := make([]uint64, len(td.valid))
+			for i, rec := range td.valid {
+				if f, ok := rec.Input(name); ok {
+					vals[i] = f.Value
+				} else {
+					vals[i] = 0xdeadbeefcafef00d
+				}
+			}
+			r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+			override := make(map[int]map[string]uint64, len(vals))
+			for i, v := range vals {
+				override[i] = map[string]uint64{name: v}
+			}
+			perm := evalModel(full, td.valid, override).metrics()
+			total += score(perm) - score(base)
+		}
+		meta := metaByName[name]
+		imps = append(imps, FieldImportance{
+			Name: name, Category: meta.category, Size: meta.size,
+			EventType: td.eventType, Importance: total / float64(cfg.Permutations),
+		})
+	}
+
+	// Backward elimination, least important first. Larger fields break
+	// ties so the table shrinks fastest.
+	order := append([]FieldImportance(nil), imps...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Importance != order[j].Importance {
+			return order[i].Importance < order[j].Importance
+		}
+		return order[i].Size > order[j].Size
+	})
+
+	selected := make(map[string]bool, len(names))
+	for _, n := range names {
+		selected[n] = true
+	}
+	var curve []TrimPoint
+	widthOf := func() units.Size {
+		var w units.Size
+		for n := range selected {
+			w += metaByName[n].size
+		}
+		return w
+	}
+	for _, cand := range order {
+		if cfg.ForceInclude[cand.Name] {
+			continue
+		}
+		if !cfg.ForceExclude[cand.Name] && len(selected) == 1 {
+			break // keep at least one field unless explicitly excluded
+		}
+		delete(selected, cand.Name)
+		subset := make([]string, 0, len(selected))
+		for n := range selected {
+			subset = append(subset, n)
+		}
+		sort.Strings(subset)
+		m := evalModel(trainModel(td.train, subset), td.valid, nil).metrics()
+		ok := m.NonTempError <= cfg.MaxNonTempError && m.TempError <= cfg.MaxTempError
+		if cfg.ForceExclude[cand.Name] {
+			ok = true
+		}
+		curve = append(curve, TrimPoint{
+			SelectedBytes: widthOf(), NonTempError: m.NonTempError, TempError: m.TempError,
+			Coverage: m.Coverage, DroppedField: cand.Name, DroppedCategory: cand.Category,
+			Accepted: ok,
+		})
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "pfi[%s]: drop %-28s imp=%.4f -> cov=%5.1f%% errNT=%.3f%% errT=%5.1f%% accepted=%v\n",
+				td.eventType, cand.Name, cand.Importance, 100*m.Coverage, 100*m.NonTempError, 100*m.TempError, ok)
+		}
+		if !ok {
+			selected[cand.Name] = true // revert the drop
+		}
+	}
+
+	out := make([]memo.SelectedField, 0, len(selected))
+	for n := range selected {
+		meta := metaByName[n]
+		out = append(out, memo.SelectedField{Name: n, Category: meta.category, Size: meta.size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, imps, curve
+}
+
+// Evaluate measures a selection's quality on a dataset with the given
+// train/validation split — usable for selections from any source
+// (PFI, developer overrides, ablations).
+func Evaluate(d *trace.Dataset, sel memo.Selection, trainFrac float64) Metrics {
+	var agg evalCounts
+	for _, td := range splitByType(d, trainFrac) {
+		names := make([]string, 0, len(sel[td.eventType]))
+		for _, f := range sel[td.eventType] {
+			names = append(names, f.Name)
+		}
+		sort.Strings(names)
+		c := evalModel(trainModel(td.train, names), td.valid, nil)
+		agg.totalInstr += c.totalInstr
+		agg.hitInstr += c.hitInstr
+		agg.predNonTemp += c.predNonTemp
+		agg.errNonTemp += c.errNonTemp
+		agg.predTemp += c.predTemp
+		agg.errTemp += c.errTemp
+	}
+	return agg.metrics()
+}

@@ -1,0 +1,256 @@
+package pfi
+
+import (
+	"testing"
+
+	"snip/internal/memo"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+func fld(name string, cat trace.Category, size units.Size, val uint64) trace.Field {
+	return trace.Field{Name: name, Category: cat, Size: size, Value: val}
+}
+
+// groundTruthProfile builds a dataset where the History output depends
+// ONLY on fields a (4 values) and b (3 values); c is pure high-cardinality
+// noise and d is a constant. PFI must keep {a, b} and drop {c, d}.
+func groundTruthProfile(n int) *trace.Dataset {
+	d := &trace.Dataset{Game: "synthetic"}
+	for i := 0; i < n; i++ {
+		a := uint64(i % 4)
+		b := uint64((i / 4) % 3)
+		c := uint64(i * 2654435761) // noise
+		out := a*100 + b
+		d.Append(&trace.Record{
+			EventSeq: int64(i), EventType: "ev", EventHash: a, Instr: 100,
+			StateChanged: true,
+			Inputs: []trace.Field{
+				fld("state.a", trace.InHistory, 2, a),
+				fld("state.b", trace.InHistory, 1, b),
+				fld("state.c", trace.InHistory, 64, c),
+				fld("state.d", trace.InHistory, 512, 42),
+			},
+			Outputs: []trace.Field{
+				fld("state.out", trace.OutHistory, 4, out),
+			},
+		})
+	}
+	return d
+}
+
+func names(sel memo.Selection, et string) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range sel[et] {
+		out[f.Name] = true
+	}
+	return out
+}
+
+func TestFindsNecessaryFields(t *testing.T) {
+	res, err := Run(groundTruthProfile(600), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(res.Selection, "ev")
+	if !got["state.a"] || !got["state.b"] {
+		t.Fatalf("necessary fields dropped: %v", got)
+	}
+	if got["state.c"] {
+		t.Fatalf("noise field retained: %v", got)
+	}
+	if got["state.d"] {
+		t.Fatalf("constant 512 B field retained: %v", got)
+	}
+	// The selection is tiny relative to the input bytes.
+	if res.SelectedBytes >= res.InputBytesTotal/10 {
+		t.Fatalf("selected %v of %v", res.SelectedBytes, res.InputBytesTotal)
+	}
+	// And the final model predicts essentially perfectly.
+	if res.Final.NonTempError > DefaultConfig().MaxNonTempError {
+		t.Fatalf("non-temp error %v above constraint", res.Final.NonTempError)
+	}
+	if res.Final.Coverage < 0.9 {
+		t.Fatalf("coverage %v, want ≈1 (keys recur)", res.Final.Coverage)
+	}
+}
+
+func TestConstraintPreventsUnderSelection(t *testing.T) {
+	// With a strict constraint, dropping a or b must have been rejected
+	// somewhere in the curve.
+	res, err := Run(groundTruthProfile(600), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for _, p := range res.Curve {
+		if !p.Accepted {
+			rejected++
+			if p.DroppedField != "state.a" && p.DroppedField != "state.b" {
+				t.Fatalf("rejected drop of irrelevant field %s", p.DroppedField)
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no drop was ever rejected; constraint inert")
+	}
+}
+
+func TestForceIncludeAndExclude(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ForceInclude = map[string]bool{"state.c": true}
+	cfg.ForceExclude = map[string]bool{"state.b": true}
+	res, err := Run(groundTruthProfile(600), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(res.Selection, "ev")
+	if !got["state.c"] {
+		t.Fatal("ForceInclude ignored")
+	}
+	if got["state.b"] {
+		t.Fatal("ForceExclude ignored")
+	}
+}
+
+func TestImportanceRanksNecessaryFieldsHigher(t *testing.T) {
+	// Importance is measured against the full model; with the noise
+	// column in the key, validation hits are rare, so run on a profile
+	// without noise to get a meaningful ranking signal.
+	d := &trace.Dataset{}
+	for i := 0; i < 400; i++ {
+		a := uint64(i % 4)
+		b := uint64((i / 4) % 3)
+		d.Append(&trace.Record{
+			EventSeq: int64(i), EventType: "ev", Instr: 100, StateChanged: true,
+			Inputs: []trace.Field{
+				fld("state.a", trace.InHistory, 2, a),
+				fld("state.const", trace.InHistory, 2, 7),
+				fld("state.b", trace.InHistory, 1, b),
+			},
+			Outputs: []trace.Field{fld("state.out", trace.OutHistory, 4, a*100+b)},
+		})
+	}
+	res, err := Run(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, imp := range res.Importance {
+		byName[imp.Name] = imp.Importance
+	}
+	if byName["state.a"] <= byName["state.const"] {
+		t.Fatalf("necessary field not ranked above constant: %v", byName)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(&trace.Dataset{}, DefaultConfig()); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.TrainFrac = 1.5
+	if _, err := Run(groundTruthProfile(20), cfg); err == nil {
+		t.Fatal("bad TrainFrac accepted")
+	}
+}
+
+func TestEvaluateStandalone(t *testing.T) {
+	d := groundTruthProfile(600)
+	full := memo.Selection{"ev": {
+		{Name: "state.a", Category: trace.InHistory, Size: 2},
+		{Name: "state.b", Category: trace.InHistory, Size: 1},
+	}}
+	m := Evaluate(d, full, 0.6)
+	if m.NonTempError != 0 {
+		t.Fatalf("perfect selection has error %v", m.NonTempError)
+	}
+	if m.Coverage < 0.9 {
+		t.Fatalf("coverage %v", m.Coverage)
+	}
+	// An under-selection errs.
+	under := memo.Selection{"ev": {
+		{Name: "state.a", Category: trace.InHistory, Size: 2},
+	}}
+	m2 := Evaluate(d, under, 0.6)
+	if m2.NonTempError == 0 {
+		t.Fatal("under-selection reported error-free")
+	}
+}
+
+func TestTempToleranceDropsTempOnlyFields(t *testing.T) {
+	// A field feeding ONLY a Temp output may be dropped once the Temp
+	// budget allows; History correctness must hold regardless.
+	d := &trace.Dataset{}
+	for i := 0; i < 600; i++ {
+		a := uint64(i % 4)
+		tcolor := uint64(i % 7) // feeds only the temp tile
+		d.Append(&trace.Record{
+			EventSeq: int64(i), EventType: "ev", Instr: 100, StateChanged: true,
+			Inputs: []trace.Field{
+				fld("state.a", trace.InHistory, 2, a),
+				fld("state.color", trace.InHistory, 2, tcolor),
+			},
+			Outputs: []trace.Field{
+				fld("state.out", trace.OutHistory, 4, a+1),
+				fld("temp.tile", trace.OutTemp, 16, tcolor*3),
+			},
+		})
+	}
+	cfg := DefaultConfig()
+	cfg.MaxTempError = 1.0 // tolerate all temp errors
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(res.Selection, "ev")
+	if got["state.color"] {
+		t.Fatal("temp-only field kept despite full tolerance")
+	}
+	if !got["state.a"] {
+		t.Fatal("history-critical field dropped")
+	}
+	if res.Final.NonTempError != 0 {
+		t.Fatalf("history error %v", res.Final.NonTempError)
+	}
+
+	// With a tight Temp budget the color field must be kept.
+	cfg.MaxTempError = 0.01
+	res2, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !names(res2.Selection, "ev")["state.color"] {
+		t.Fatal("tight temp budget did not retain the tile's field")
+	}
+}
+
+func TestPerTypeSelections(t *testing.T) {
+	// Two event types with disjoint necessary fields must get separate
+	// selections.
+	d := &trace.Dataset{}
+	for i := 0; i < 300; i++ {
+		a := uint64(i % 5)
+		d.Append(&trace.Record{
+			EventSeq: int64(i), EventType: "tap", Instr: 100, StateChanged: true,
+			Inputs:  []trace.Field{fld("state.a", trace.InHistory, 2, a)},
+			Outputs: []trace.Field{fld("state.o1", trace.OutHistory, 4, a)},
+		})
+		b := uint64(i % 3)
+		d.Append(&trace.Record{
+			EventSeq: int64(i), EventType: "vsync", Instr: 100, StateChanged: true,
+			Inputs:  []trace.Field{fld("state.b", trace.InHistory, 2, b)},
+			Outputs: []trace.Field{fld("state.o2", trace.OutHistory, 4, b)},
+		})
+	}
+	res, err := Run(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !names(res.Selection, "tap")["state.a"] || names(res.Selection, "tap")["state.b"] {
+		t.Fatalf("tap selection wrong: %v", res.Selection["tap"])
+	}
+	if !names(res.Selection, "vsync")["state.b"] || names(res.Selection, "vsync")["state.a"] {
+		t.Fatalf("vsync selection wrong: %v", res.Selection["vsync"])
+	}
+}

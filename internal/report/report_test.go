@@ -1,0 +1,181 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"snip/internal/experiments"
+	"snip/internal/stats"
+)
+
+// The report tests run the experiments at a tiny scale and assert that
+// every renderer produces the expected row structure — an integration
+// pass over experiments+report together.
+
+func tinyConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.SessionSeconds = 15
+	cfg.ProfileSessions = 2
+	return cfg
+}
+
+func TestTableRenderer(t *testing.T) {
+	tb := &stats.Table{Title: "demo", XName: "x"}
+	s := &stats.Series{Name: "a"}
+	s.Append("p", 1.5)
+	s.Append("q", 2.5)
+	tb.AddSeries(s)
+	var b strings.Builder
+	Table(&b, tb)
+	out := b.String()
+	for _, want := range []string{"demo", "p", "q", "1.50", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Renderer(t *testing.T) {
+	r, err := experiments.Fig2EnergyBreakdown(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Fig2(&b, r)
+	out := b.String()
+	for _, game := range experiments.GameNames() {
+		if !strings.Contains(out, game) {
+			t.Fatalf("missing %s in Fig2 output", game)
+		}
+	}
+	if !strings.Contains(out, "CPU") || !strings.Contains(out, "paper:") {
+		t.Fatal("missing columns or paper reference")
+	}
+}
+
+func TestFig3And4Renderers(t *testing.T) {
+	cfg := tinyConfig()
+	r3, err := experiments.Fig3BatteryDrain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Fig3(&b, r3)
+	if !strings.Contains(b.String(), "IdlePhone") {
+		t.Fatal("Fig3 missing idle reference")
+	}
+	r4, err := experiments.Fig4UselessEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	Fig4(&b, r4)
+	if !strings.Contains(b.String(), "useless%") {
+		t.Fatal("Fig4 missing header")
+	}
+}
+
+func TestFig6Through9Renderers(t *testing.T) {
+	cfg := tinyConfig()
+	var b strings.Builder
+
+	r6, err := experiments.Fig6NaiveTableSize(cfg, "ABEvolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Fig6(&b, r6)
+	if !strings.Contains(b.String(), "coverage ->") {
+		t.Fatalf("Fig6 output:\n%s", b.String())
+	}
+
+	b.Reset()
+	r7, err := experiments.Fig7InputOutputCDF(cfg, "ABEvolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Fig7(&b, r7)
+	if !strings.Contains(b.String(), "In.History") {
+		t.Fatal("Fig7 missing categories")
+	}
+
+	b.Reset()
+	r8, err := experiments.Fig8EventOnlyTable(cfg, "ABEvolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Fig8(&b, r8)
+	if !strings.Contains(b.String(), "ambiguous") {
+		t.Fatal("Fig8 missing ambiguity line")
+	}
+
+	b.Reset()
+	r9, err := experiments.Fig9PFITrimCurve(cfg, "ABEvolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Fig9(&b, r9)
+	if !strings.Contains(b.String(), "selected bytes by category") {
+		t.Fatal("Fig9 missing category split")
+	}
+}
+
+func TestFig11AndTable1Renderers(t *testing.T) {
+	cfg := tinyConfig()
+	r, err := experiments.Fig11Schemes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Fig11(&b, r)
+	out := b.String()
+	for _, want := range []string{"Fig 11a", "Fig 11b", "Fig 11c", "MaxCPU", "SNIP", "average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig11 missing %q", want)
+		}
+	}
+
+	t1, err := experiments.Table1OptimizationScope(cfg, "ABEvolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	Table1(&b, t1)
+	if !strings.Contains(b.String(), "Max CPU") || !strings.Contains(b.String(), "SNIP") {
+		t.Fatal("Table1 incomplete")
+	}
+}
+
+func TestFig12AndBackendRenderers(t *testing.T) {
+	cfg := tinyConfig()
+	r, err := experiments.Fig12ContinuousLearning(cfg, "Colorphun", 2, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Fig12(&b, r)
+	if !strings.Contains(b.String(), "epoch") {
+		t.Fatal("Fig12 missing epochs")
+	}
+
+	br, err := experiments.BackendProfiling(cfg, "Colorphun")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	Backend(&b, br)
+	if !strings.Contains(b.String(), "table shrink") {
+		t.Fatal("backend summary incomplete")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(-1, 10) != strings.Repeat(".", 10) {
+		t.Fatal("negative fraction")
+	}
+	if bar(2, 10) != strings.Repeat("#", 10) {
+		t.Fatal("overflow fraction")
+	}
+	if got := bar(0.5, 10); strings.Count(got, "#") != 5 {
+		t.Fatalf("half bar %q", got)
+	}
+}

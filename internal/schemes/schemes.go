@@ -1,0 +1,399 @@
+// Package schemes runs complete game sessions under the execution
+// schemes the paper compares (§VII):
+//
+//   - Baseline: every event is processed in full.
+//   - Max CPU: an oracle upper bound on CPU-side memoization (prior work
+//     [3, 14, 42]): any repeated (function, inputs) CPU computation is
+//     skipped for free, but accelerator/IP calls still execute.
+//   - Max IP: prior work [43]: idle IPs are power-collapsed and repeated
+//     IP invocations (same op, same inputs) are skipped, but the CPU
+//     portion still executes.
+//   - SNIP: whole-event short-circuiting through the PFI lookup table,
+//     paying the per-event lookup/compare overhead.
+//   - No Overheads: SNIP with free lookups — the paper's headroom probe.
+//
+// A session is: generate the user's sensor stream, synthesize events,
+// and deliver them in time order to the game on the simulated SoC,
+// charging every component's active and idle energy.
+package schemes
+
+import (
+	"fmt"
+
+	"snip/internal/energy"
+	"snip/internal/events"
+	"snip/internal/games"
+	"snip/internal/memo"
+	"snip/internal/soc"
+	"snip/internal/trace"
+	"snip/internal/units"
+	"snip/internal/workload"
+)
+
+// Kind selects the execution scheme.
+type Kind int
+
+// The compared schemes.
+const (
+	Baseline Kind = iota
+	MaxCPU
+	MaxIP
+	SNIP
+	NoOverheads
+	numKinds
+)
+
+// NumKinds is the number of schemes.
+const NumKinds = int(numKinds)
+
+// String returns the paper's name for the scheme.
+func (k Kind) String() string {
+	switch k {
+	case Baseline:
+		return "Baseline"
+	case MaxCPU:
+		return "Max CPU"
+	case MaxIP:
+		return "Max IP"
+	case SNIP:
+		return "SNIP"
+	case NoOverheads:
+		return "No Overheads"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns all schemes in comparison order.
+func Kinds() []Kind { return []Kind{Baseline, MaxCPU, MaxIP, SNIP, NoOverheads} }
+
+// Config describes one session run.
+type Config struct {
+	Game     string
+	Seed     uint64
+	Duration units.Time
+	Scheme   Kind
+	// Table is the deployed SNIP lookup table (required for SNIP and
+	// NoOverheads).
+	Table *memo.SnipTable
+	// CollectTrace captures the full per-event profile (the cloud-side
+	// instrumentation; adds memory, not simulated energy).
+	CollectTrace bool
+	// CollectEventLog captures the reduced events-only log the device
+	// actually uploads.
+	CollectEventLog bool
+	// EvalCorrectness shadow-executes every short-circuited event to
+	// count erroneous output fields (ground truth; evaluation only).
+	EvalCorrectness bool
+	// PowerModel overrides the default component power model.
+	PowerModel *energy.PowerModel
+	// SoC overrides the default SoC performance config.
+	SoC soc.Config
+}
+
+// ErrorStats counts short-circuit prediction errors by output category.
+type ErrorStats struct {
+	ShadowedEvents  int64 // short-circuits that were ground-truth checked
+	PredictedFields int64 // output fields served from the table
+	ErrTemp         int64
+	ErrHistory      int64
+	ErrExtern       int64
+	// ByField tallies mismatches per output-field name — the debugging
+	// view developers use to decide on §V-B Option 1 overrides.
+	ByField map[string]int64
+}
+
+// ErrFields returns total erroneous fields.
+func (e ErrorStats) ErrFields() int64 { return e.ErrTemp + e.ErrHistory + e.ErrExtern }
+
+// FieldErrorRate returns erroneous fields per predicted field.
+func (e ErrorStats) FieldErrorRate() float64 {
+	if e.PredictedFields == 0 {
+		return 0
+	}
+	return float64(e.ErrFields()) / float64(e.PredictedFields)
+}
+
+// Result is the outcome of one session.
+type Result struct {
+	Game   string
+	Scheme Kind
+
+	Events    int // events delivered to the game
+	Elapsed   units.Time
+	Energy    units.Energy
+	Meter     *energy.Meter
+	ByGroup   [energy.NumGroups]units.Energy
+	Breakdown [energy.NumGroups]float64
+
+	// TotalWeight is the dynamic-instruction weight of all events
+	// (executed + short-circuited); SnippedWeight the weight avoided.
+	TotalWeight   int64
+	SnippedWeight int64
+	SnippedEvents int
+
+	// UselessEvents/UselessEnergy: baseline-only ground truth for Fig. 4.
+	UselessEvents int
+	UselessEnergy units.Energy
+
+	// LookupEnergy is the SNIP lookup/compare overhead (Fig. 11c).
+	LookupEnergy  units.Energy
+	ComparedBytes int64
+
+	Errors ErrorStats
+
+	Dataset  *trace.Dataset  // when CollectTrace
+	EventLog *trace.EventLog // when CollectEventLog
+}
+
+// CoverageFraction returns the instruction-weighted fraction of execution
+// short-circuited (Fig. 11b).
+func (r *Result) CoverageFraction() float64 {
+	if r.TotalWeight == 0 {
+		return 0
+	}
+	return float64(r.SnippedWeight) / float64(r.TotalWeight)
+}
+
+// UselessFraction returns the fraction of delivered events that changed
+// nothing (Fig. 4), meaningful on Baseline runs with CollectTrace.
+func (r *Result) UselessFraction() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.UselessEvents) / float64(r.Events)
+}
+
+// BatteryHours extrapolates the session's average power draw to a full
+// battery drain (Fig. 3's methodology).
+func (r *Result) BatteryHours() float64 {
+	return energy.DefaultBattery().HoursToDrain(r.Energy, r.Elapsed)
+}
+
+// Run executes one session.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("schemes: duration must be positive")
+	}
+	if (cfg.Scheme == SNIP || cfg.Scheme == NoOverheads) && cfg.Table == nil {
+		return nil, fmt.Errorf("schemes: %v requires a SNIP table", cfg.Scheme)
+	}
+	game, err := games.New(cfg.Game)
+	if err != nil {
+		return nil, err
+	}
+	game.Reset(cfg.Seed)
+	gen, err := workload.ForGame(cfg.Game)
+	if err != nil {
+		return nil, err
+	}
+	stream := gen.Generate(cfg.Seed, cfg.Duration)
+	synthCfg := events.DefaultSynthesizerConfig()
+	// Frame counters count from device boot: no two sessions share them.
+	synthCfg.FrameBase = int64(cfg.Seed%1_000_000) * 10_000_000
+	synth := events.NewSynthesizer(synthCfg)
+	evs := synth.SynthesizeAll(stream)
+
+	meter := energy.NewMeter(cfg.PowerModel)
+	socCfg := cfg.SoC
+	if socCfg.CPUFreqMHz == 0 {
+		socCfg = soc.DefaultConfig()
+	}
+	var policy soc.IdlePolicy = soc.DefaultIdlePolicy{}
+	if cfg.Scheme == MaxIP {
+		policy = soc.SleepIdleIPs{}
+	}
+	chip := soc.New(socCfg, meter, policy)
+
+	handled := make(map[events.Type]bool)
+	for _, t := range game.Types() {
+		handled[t] = true
+	}
+
+	res := &Result{Game: cfg.Game, Scheme: cfg.Scheme, Meter: meter}
+	if cfg.CollectTrace {
+		res.Dataset = &trace.Dataset{Game: cfg.Game}
+	}
+	if cfg.CollectEventLog {
+		res.EventLog = &trace.EventLog{Game: cfg.Game}
+	}
+
+	// Per-scheme memo state.
+	cpuSeen := make(map[string]map[uint64]bool) // Max CPU: func -> input hashes
+	ipLast := make(map[energy.Component]uint64) // Max IP: last invocation latch per IP
+
+	dispatcher := events.NewDispatcher()
+	dispatcher.Enqueue(evs...)
+	dispatcher.Sort()
+
+	deliver := func(e *events.Event) {
+		chip.AdvanceTo(e.Time)
+		// The OS delivery path runs for every event under every scheme.
+		chip.Execute(events.DeliveryCost(e))
+		if cfg.CollectEventLog {
+			res.EventLog.Events = append(res.EventLog.Events, trace.LoggedEvent{
+				Type: e.Type.String(), Seq: e.Seq, Time: e.Time,
+				Values: append([]int64(nil), e.Values...),
+			})
+		}
+		res.Events++
+
+		switch cfg.Scheme {
+		case Baseline:
+			before := meter.Total()
+			exec := game.Process(e)
+			chip.Execute(exec.Work())
+			delta := meter.Total() - before
+			res.TotalWeight += exec.Record.Instr
+			if !exec.Record.StateChanged {
+				res.UselessEvents++
+				res.UselessEnergy += delta
+				meter.Tag("useless", delta)
+			}
+			if cfg.CollectTrace {
+				res.Dataset.Append(exec.Record)
+			}
+
+		case MaxCPU:
+			exec := game.Process(e)
+			w, skipped := exec.CPUWork(cpuSeen)
+			w.IPCalls = exec.IPCalls
+			chip.Execute(w)
+			res.TotalWeight += exec.Record.Instr
+			res.SnippedWeight += skipped
+			if skipped > 0 {
+				res.SnippedEvents++
+			}
+
+		case MaxIP:
+			exec := game.Process(e)
+			w := soc.Work{}
+			cw, _ := exec.CPUWork(nil)
+			w.CPUInstr, w.MemBytes = cw.CPUInstr, cw.MemBytes
+			for _, call := range exec.IPCalls {
+				digest := trace.Combine(trace.HashString(call.Op), call.InputHash)
+				if ipLast[call.IP] == digest {
+					// The IP would recompute exactly its previous
+					// invocation: serve the latched result ([43]-style).
+					res.SnippedWeight += int64(call.Duration) * 1200
+					continue
+				}
+				ipLast[call.IP] = digest
+				w.IPCalls = append(w.IPCalls, call)
+			}
+			if len(w.IPCalls) < len(exec.IPCalls) {
+				res.SnippedEvents++
+			}
+			chip.Execute(w)
+			res.TotalWeight += exec.Record.Instr
+
+		case SNIP, NoOverheads:
+			resolver := func(name string) (uint64, bool) {
+				if v, ok := game.PeekField(name); ok {
+					return v, true
+				}
+				return resolveEventField(e, name)
+			}
+			entry, probes, cmpBytes, hit := cfg.Table.Lookup(e.Type.String(), resolver)
+			if cfg.Scheme == SNIP {
+				res.LookupEnergy += chip.LookupOverhead(probes, cmpBytes)
+				res.ComparedBytes += int64(cmpBytes)
+			}
+			if hit {
+				res.SnippedEvents++
+				weight := entry.Instr
+				if cfg.EvalCorrectness {
+					shadow := game.Clone()
+					truth := shadow.Process(e).Record
+					weight = truth.Instr
+					res.Errors.ShadowedEvents++
+					countErrors(&res.Errors, entry.Outputs, truth.Outputs)
+				}
+				res.SnippedWeight += weight
+				res.TotalWeight += weight
+				game.ApplyOutputs(entry.Outputs)
+			} else {
+				exec := game.Process(e)
+				chip.Execute(exec.Work())
+				res.TotalWeight += exec.Record.Instr
+			}
+		}
+	}
+
+	for _, e := range evs {
+		if !handled[e.Type] {
+			continue // the game registered no listener; never delivered
+		}
+		deliver(e)
+	}
+	chip.AdvanceTo(stream.End())
+
+	res.Elapsed = chip.Now()
+	res.Energy = meter.Total()
+	res.ByGroup = meter.GroupTotals()
+	res.Breakdown = meter.Breakdown()
+	return res, nil
+}
+
+// resolveEventField reads "event.<type>.<field>" names from the pending
+// event object.
+func resolveEventField(e *events.Event, name string) (uint64, bool) {
+	prefix := "event." + e.Type.String() + "."
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return 0, false
+	}
+	v, ok := e.Field(name[len(prefix):])
+	if !ok {
+		return 0, false
+	}
+	return uint64(v), true
+}
+
+// countErrors compares served outputs against ground truth field-wise.
+func countErrors(st *ErrorStats, served, truth []trace.Field) {
+	predicted := make(map[string]uint64, len(served))
+	for _, f := range served {
+		predicted[f.Name] = f.Value
+	}
+	for _, f := range truth {
+		st.PredictedFields++
+		if pv, ok := predicted[f.Name]; ok && pv == f.Value {
+			continue
+		}
+		if st.ByField == nil {
+			st.ByField = make(map[string]int64)
+		}
+		st.ByField[f.Name]++
+		switch f.Category {
+		case trace.OutTemp:
+			st.ErrTemp++
+		case trace.OutHistory:
+			st.ErrHistory++
+		case trace.OutExtern:
+			st.ErrExtern++
+		}
+	}
+}
+
+// Profile runs a Baseline session with full trace collection — the
+// emulator-replay step of the cloud profiler.
+func Profile(gameName string, seed uint64, duration units.Time) (*Result, error) {
+	return Run(Config{
+		Game: gameName, Seed: seed, Duration: duration,
+		Scheme: Baseline, CollectTrace: true, CollectEventLog: true,
+	})
+}
+
+// IdlePhoneHours returns the battery life of an idle phone under the
+// power model: every component in its idle state (Fig. 3's ≈20 h
+// reference line).
+func IdlePhoneHours(pm *energy.PowerModel) float64 {
+	if pm == nil {
+		pm = energy.DefaultPowerModel()
+	}
+	var total units.Power
+	for _, c := range energy.Components() {
+		total += pm.Draw(c, energy.Idle)
+	}
+	consumed := units.EnergyOf(total, units.Hour)
+	return energy.DefaultBattery().HoursToDrain(consumed, units.Hour)
+}

@@ -1,0 +1,143 @@
+// Package sensors models the input sensors of the simulated phone: the
+// touchscreen, gyroscope/rotation sensor, GPS, and camera. Sensors emit
+// timestamped raw readings which the event layer (internal/events)
+// synthesizes into the high-level events games register for — mirroring
+// Android's sensor → sensor hub → SensorManager pipeline described in
+// §II of the paper.
+package sensors
+
+import (
+	"fmt"
+
+	"snip/internal/units"
+)
+
+// Kind identifies a sensor.
+type Kind int
+
+// The modeled sensors.
+const (
+	Touch Kind = iota
+	Gyro
+	Accel
+	GPS
+	Camera
+	numKinds
+)
+
+// NumKinds is the number of sensor kinds.
+const NumKinds = int(numKinds)
+
+// String returns the sensor name.
+func (k Kind) String() string {
+	switch k {
+	case Touch:
+		return "touch"
+	case Gyro:
+		return "gyro"
+	case Accel:
+		return "accel"
+	case GPS:
+		return "gps"
+	case Camera:
+		return "camera"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Reading is one raw sensor sample. Values are quantized integers: the
+// touchscreen reports pixel coordinates, the gyro tenths of a degree, GPS
+// fixed-point microdegrees, the camera a scene identifier plus a
+// complexity measure (number of detected surfaces — the paper's Fig. 7c
+// empty-room vs cluttered-room contrast).
+type Reading struct {
+	Sensor Kind
+	Time   units.Time
+	Values []int64
+}
+
+// TouchPhase is the phase of a touch reading (Values[0]).
+type TouchPhase int64
+
+// Touch phases, matching Android MotionEvent actions.
+const (
+	TouchDown TouchPhase = iota
+	TouchMove
+	TouchUp
+)
+
+// TouchReading builds a touchscreen sample: phase, x, y, pressure,
+// pointer id.
+func TouchReading(t units.Time, phase TouchPhase, x, y, pressure, pointer int64) Reading {
+	return Reading{Sensor: Touch, Time: t, Values: []int64{int64(phase), x, y, pressure, pointer}}
+}
+
+// GyroReading builds a rotation sample: alpha, beta, gamma in tenths of a
+// degree (0–3600).
+func GyroReading(t units.Time, alpha, beta, gamma int64) Reading {
+	return Reading{Sensor: Gyro, Time: t, Values: []int64{alpha, beta, gamma}}
+}
+
+// AccelReading builds an accelerometer sample in milli-g per axis.
+func AccelReading(t units.Time, ax, ay, az int64) Reading {
+	return Reading{Sensor: Accel, Time: t, Values: []int64{ax, ay, az}}
+}
+
+// GPSReading builds a position fix in microdegrees.
+func GPSReading(t units.Time, latMicro, lngMicro int64) Reading {
+	return Reading{Sensor: GPS, Time: t, Values: []int64{latMicro, lngMicro}}
+}
+
+// CameraReading builds a camera frame sample: scene id, surface count
+// (complexity), mean luma.
+func CameraReading(t units.Time, sceneID, surfaces, luma int64) Reading {
+	return Reading{Sensor: Camera, Time: t, Values: []int64{sceneID, surfaces, luma}}
+}
+
+// RawSize returns the raw payload size of a reading as transported from
+// the sensor to the hub.
+func (r Reading) RawSize() units.Size {
+	switch r.Sensor {
+	case Touch:
+		return 12
+	case Gyro, Accel:
+		return 12
+	case GPS:
+		return 16
+	case Camera:
+		// The hub transports frame metadata; pixel data goes directly to
+		// the ISP. 64 bytes of metadata per frame.
+		return 64
+	}
+	return units.Size(8 * len(r.Values))
+}
+
+// Stream is a time-ordered sequence of readings from all sensors.
+type Stream struct {
+	readings []Reading
+}
+
+// Append adds a reading; callers must append in non-decreasing time order.
+func (s *Stream) Append(r Reading) {
+	if n := len(s.readings); n > 0 && r.Time < s.readings[n-1].Time {
+		panic(fmt.Sprintf("sensors: out-of-order reading at %v after %v", r.Time, s.readings[n-1].Time))
+	}
+	s.readings = append(s.readings, r)
+}
+
+// Len returns the number of readings.
+func (s *Stream) Len() int { return len(s.readings) }
+
+// At returns the i-th reading.
+func (s *Stream) At(i int) Reading { return s.readings[i] }
+
+// All returns the underlying slice (read-only by convention).
+func (s *Stream) All() []Reading { return s.readings }
+
+// End returns the time of the last reading, or 0 for an empty stream.
+func (s *Stream) End() units.Time {
+	if len(s.readings) == 0 {
+		return 0
+	}
+	return s.readings[len(s.readings)-1].Time
+}

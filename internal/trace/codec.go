@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"snip/internal/units"
+)
+
+// The wire formats for shipping profiles to the cloud profiler: a compact
+// gob stream for the actual transfer and JSON for debugging/inspection.
+// The paper notes that SNIP records "only the event inputs" on-device to
+// keep the client overhead negligible; EncodeEventsOnly implements that
+// reduced form.
+
+// magic distinguishes full profiles from events-only profiles on the wire.
+const (
+	magicFull       = "SNIPPROF1"
+	magicEventsOnly = "SNIPEVTS1"
+)
+
+// Encode writes the full dataset (inputs and outputs) as a gob stream.
+func Encode(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, magicFull); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a dataset written by Encode.
+func Decode(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [9]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if string(magic[:]) != magicFull {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var d Dataset
+	if err := gob.NewDecoder(br).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &d, nil
+}
+
+// EventLog is the reduced on-device recording: just the events (In.Event
+// fields), to be replayed against the emulator in the cloud, where the
+// full input/output profile is regenerated.
+type EventLog struct {
+	Game   string
+	Events []LoggedEvent
+}
+
+// LoggedEvent is one recorded event: type name plus its quantized values.
+type LoggedEvent struct {
+	Type   string
+	Seq    int64
+	Time   units.Time
+	Values []int64
+}
+
+// EncodeEventsOnly writes an events-only log as a gob stream.
+func EncodeEventsOnly(w io.Writer, l *EventLog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, magicEventsOnly); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(bw).Encode(l); err != nil {
+		return fmt.Errorf("trace: encode events: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeEventsOnly reads an events-only log.
+func DecodeEventsOnly(r io.Reader) (*EventLog, error) {
+	br := bufio.NewReader(r)
+	var magic [9]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if string(magic[:]) != magicEventsOnly {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var l EventLog
+	if err := gob.NewDecoder(br).Decode(&l); err != nil {
+		return nil, fmt.Errorf("trace: decode events: %w", err)
+	}
+	return &l, nil
+}
+
+// MarshalJSON-ready view types keep the JSON stable and readable.
+
+type jsonField struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Size     int64  `json:"size"`
+	Value    uint64 `json:"value"`
+}
+
+type jsonRecord struct {
+	EventSeq     int64       `json:"event_seq"`
+	EventType    string      `json:"event_type"`
+	EventHash    uint64      `json:"event_hash"`
+	Time         int64       `json:"time_us"`
+	Instr        int64       `json:"instr"`
+	StateChanged bool        `json:"state_changed"`
+	Inputs       []jsonField `json:"inputs"`
+	Outputs      []jsonField `json:"outputs"`
+}
+
+// WriteJSON writes the dataset as newline-delimited JSON, one record per
+// line (the logcat-style dump format).
+func WriteJSON(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range d.Records {
+		jr := jsonRecord{
+			EventSeq: r.EventSeq, EventType: r.EventType, EventHash: r.EventHash,
+			Time: int64(r.Time), Instr: r.Instr, StateChanged: r.StateChanged,
+		}
+		for _, f := range r.Inputs {
+			jr.Inputs = append(jr.Inputs, jsonField{f.Name, f.Category.String(), int64(f.Size), f.Value})
+		}
+		for _, f := range r.Outputs {
+			jr.Outputs = append(jr.Outputs, jsonField{f.Name, f.Category.String(), int64(f.Size), f.Value})
+		}
+		if err := enc.Encode(jr); err != nil {
+			return fmt.Errorf("trace: write json: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// countingWriter measures encoded size without buffering the bytes.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
+
+// TransferSize returns the gob-encoded size of the full dataset — what a
+// naive client would upload to the cloud.
+func TransferSize(d *Dataset) (units.Size, error) {
+	var cw countingWriter
+	if err := Encode(&cw, d); err != nil {
+		return 0, err
+	}
+	return units.Size(cw.n), nil
+}
+
+// EventsOnlyTransferSize returns the gob-encoded size of the events-only
+// log — SNIP's actual client upload.
+func EventsOnlyTransferSize(l *EventLog) (units.Size, error) {
+	var cw countingWriter
+	if err := EncodeEventsOnly(&cw, l); err != nil {
+		return 0, err
+	}
+	return units.Size(cw.n), nil
+}

@@ -1,0 +1,150 @@
+// Package units defines the scalar quantities used throughout the SNIP
+// simulator: byte sizes, simulated time, power and energy. Keeping them as
+// distinct types prevents the classic simulator bug of adding microjoules
+// to microseconds, and centralizes formatting for reports.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Size is a number of bytes. Lookup-table and record sizes in the paper
+// range from a few bytes (In.Event fields) to tens of gigabytes (naive
+// tables), so a 64-bit count is required.
+type Size int64
+
+// Common size units.
+const (
+	Byte Size = 1
+	KB   Size = 1 << 10
+	MB   Size = 1 << 20
+	GB   Size = 1 << 30
+)
+
+// String renders the size with a binary-unit suffix, e.g. "290.0MB".
+func (s Size) String() string {
+	switch {
+	case s >= GB:
+		return fmt.Sprintf("%.1fGB", float64(s)/float64(GB))
+	case s >= MB:
+		return fmt.Sprintf("%.1fMB", float64(s)/float64(MB))
+	case s >= KB:
+		return fmt.Sprintf("%.1fkB", float64(s)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(s))
+	}
+}
+
+// Bytes returns the size as a plain int64 byte count.
+func (s Size) Bytes() int64 { return int64(s) }
+
+// Time is simulated time measured in microseconds since the start of a
+// session. The simulator never consults the wall clock; all timing is
+// virtual so that runs are deterministic.
+type Time int64
+
+// Common time units in simulated microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Duration converts a simulated time span to a time.Duration for display.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// Seconds returns the time as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Hours returns the time as fractional hours.
+func (t Time) Hours() float64 { return float64(t) / float64(Hour) }
+
+// String renders the time compactly, e.g. "2.50s" or "1.2h".
+func (t Time) String() string {
+	switch {
+	case t >= Hour:
+		return fmt.Sprintf("%.2fh", t.Hours())
+	case t >= Second:
+		return fmt.Sprintf("%.2fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", int64(t))
+	}
+}
+
+// Power is a power draw in milliwatts. Component power ratings on the
+// simulated SoC (modeled after a Snapdragon-821-class part) range from a
+// fraction of a milliwatt (sleeping sensor) to a few watts (GPU busy).
+type Power float64
+
+// Common power units.
+const (
+	Milliwatt Power = 1
+	Watt      Power = 1000
+)
+
+// String renders the power, e.g. "350mW" or "1.20W".
+func (p Power) String() string {
+	if p >= Watt {
+		return fmt.Sprintf("%.2fW", float64(p)/float64(Watt))
+	}
+	return fmt.Sprintf("%.1fmW", float64(p))
+}
+
+// Energy is an amount of energy in microjoules. One milliwatt for one
+// microsecond is one nanojoule, so Energy is stored as float64 nanojoule
+// precision folded into µJ to avoid rounding drift over long sessions.
+type Energy float64
+
+// Common energy units.
+const (
+	Microjoule Energy = 1
+	Millijoule Energy = 1000
+	Joule      Energy = 1000 * Millijoule
+)
+
+// EnergyOf integrates a power draw over a simulated duration.
+// mW × µs = nJ = 1e-3 µJ.
+func EnergyOf(p Power, d Time) Energy {
+	return Energy(float64(p) * float64(d) * 1e-3)
+}
+
+// Joules returns the energy as fractional joules.
+func (e Energy) Joules() float64 { return float64(e) / float64(Joule) }
+
+// String renders the energy, e.g. "12.3J" or "840µJ".
+func (e Energy) String() string {
+	switch {
+	case e >= Joule:
+		return fmt.Sprintf("%.2fJ", e.Joules())
+	case e >= Millijoule:
+		return fmt.Sprintf("%.2fmJ", float64(e)/float64(Millijoule))
+	default:
+		return fmt.Sprintf("%.1fµJ", float64(e))
+	}
+}
+
+// Charge is electric charge in milliamp-hours, used by the battery model.
+type Charge float64
+
+// BatteryCapacityPixelXL is the battery capacity of the paper's testbed
+// phone (Google Pixel XL): 3450 mAh.
+const BatteryCapacityPixelXL Charge = 3450
+
+// NominalBatteryVoltage is the nominal Li-ion cell voltage used to convert
+// between charge and energy.
+const NominalBatteryVoltage = 3.8 // volts
+
+// EnergyCapacity converts a charge at the nominal voltage into energy.
+func (c Charge) EnergyCapacity() Energy {
+	// mAh × V = mWh; 1 mWh = 3.6 J.
+	mwh := float64(c) * NominalBatteryVoltage
+	return Energy(mwh*3.6) * Joule
+}
+
+// String renders the charge, e.g. "3450mAh".
+func (c Charge) String() string { return fmt.Sprintf("%.0fmAh", float64(c)) }

@@ -1,0 +1,132 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSizeString(t *testing.T) {
+	cases := []struct {
+		in   Size
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1.0kB"},
+		{1536, "1.5kB"},
+		{MB, "1.0MB"},
+		{290 * MB, "290.0MB"},
+		{5 * GB, "5.0GB"},
+		{64 * GB, "64.0GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Size(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if (3 * MB).Bytes() != 3*1024*1024 {
+		t.Fatalf("3MB = %d bytes", (3 * MB).Bytes())
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000*Microsecond {
+		t.Fatal("second is not 1e6 microseconds")
+	}
+	if Hour != 3600*Second {
+		t.Fatal("hour is not 3600 seconds")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatalf("2s = %v seconds", (2 * Second).Seconds())
+	}
+	if (90 * Minute).Hours() != 1.5 {
+		t.Fatalf("90min = %v hours", (90 * Minute).Hours())
+	}
+	if (250 * Millisecond).Duration() != 250*time.Millisecond {
+		t.Fatalf("duration conversion wrong: %v", (250 * Millisecond).Duration())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500µs"},
+		{2 * Millisecond, "2.00ms"},
+		{3 * Second, "3.00s"},
+		{2 * Hour, "2.00h"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEnergyOf(t *testing.T) {
+	// 1 W for 1 s = 1 J.
+	got := EnergyOf(Watt, Second)
+	if got != Joule {
+		t.Fatalf("1W x 1s = %v, want 1J", got)
+	}
+	// 100 mW for 10 ms = 1 mJ.
+	got = EnergyOf(100*Milliwatt, 10*Millisecond)
+	if got != Millijoule {
+		t.Fatalf("100mW x 10ms = %v, want 1mJ", got)
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	if (2 * Joule).String() != "2.00J" {
+		t.Fatalf("got %s", (2 * Joule).String())
+	}
+	if (Millijoule * 5).String() != "5.00mJ" {
+		t.Fatalf("got %s", (5 * Millijoule).String())
+	}
+	if Energy(42).String() != "42.0µJ" {
+		t.Fatalf("got %s", Energy(42).String())
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	if (350 * Milliwatt).String() != "350.0mW" {
+		t.Fatalf("got %s", (350 * Milliwatt).String())
+	}
+	if (2 * Watt).String() != "2.00W" {
+		t.Fatalf("got %s", (2 * Watt).String())
+	}
+}
+
+func TestBatteryCapacity(t *testing.T) {
+	// 3450 mAh at 3.8 V nominal = 13.11 Wh = 47196 J.
+	e := BatteryCapacityPixelXL.EnergyCapacity()
+	j := e.Joules()
+	if j < 47000 || j > 47500 {
+		t.Fatalf("battery capacity %v J, want ≈47196 J", j)
+	}
+	if BatteryCapacityPixelXL.String() != "3450mAh" {
+		t.Fatalf("charge string %q", BatteryCapacityPixelXL.String())
+	}
+}
+
+func TestEnergyOfAdditive(t *testing.T) {
+	// Energy is additive over time: E(p, t1+t2) = E(p,t1) + E(p,t2).
+	f := func(mw uint16, t1, t2 uint32) bool {
+		p := Power(mw)
+		a := EnergyOf(p, Time(t1)) + EnergyOf(p, Time(t2))
+		b := EnergyOf(p, Time(t1)+Time(t2))
+		diff := float64(a - b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6*(1+float64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"testing"
+
+	"snip/internal/games"
+	"snip/internal/sensors"
+	"snip/internal/units"
+)
+
+func TestForGameCoversCatalog(t *testing.T) {
+	for _, name := range games.Names() {
+		g, err := ForGame(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Game() != name {
+			t.Fatalf("%s generator claims %s", name, g.Game())
+		}
+	}
+	if _, err := ForGame("Pong"); err == nil {
+		t.Fatal("unknown game accepted")
+	}
+}
+
+func TestGeneratorsProduceOrderedNonEmptyStreams(t *testing.T) {
+	for _, name := range games.Names() {
+		gen := MustForGame(name)
+		s := gen.Generate(1, 10*units.Second)
+		if s.Len() < 15 {
+			t.Fatalf("%s: only %d readings in 10s", name, s.Len())
+		}
+		var last units.Time
+		for i := 0; i < s.Len(); i++ {
+			r := s.At(i)
+			if r.Time < last {
+				t.Fatalf("%s: reading %d out of order", name, i)
+			}
+			last = r.Time
+		}
+		if s.End() > 12*units.Second {
+			t.Fatalf("%s: stream runs to %v, far past the 10s session", name, s.End())
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range games.Names() {
+		gen := MustForGame(name)
+		a := gen.Generate(7, 5*units.Second)
+		b := gen.Generate(7, 5*units.Second)
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: lengths differ %d vs %d", name, a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			ra, rb := a.At(i), b.At(i)
+			if ra.Time != rb.Time || ra.Sensor != rb.Sensor {
+				t.Fatalf("%s: reading %d differs", name, i)
+			}
+			for j := range ra.Values {
+				if ra.Values[j] != rb.Values[j] {
+					t.Fatalf("%s: reading %d values differ", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsVaryAcrossSeeds(t *testing.T) {
+	for _, name := range games.Names() {
+		gen := MustForGame(name)
+		a := gen.Generate(1, 5*units.Second)
+		b := gen.Generate(2, 5*units.Second)
+		same := a.Len() == b.Len()
+		if same {
+			for i := 0; i < a.Len(); i++ {
+				ra, rb := a.At(i), b.At(i)
+				if ra.Time != rb.Time || len(ra.Values) != len(rb.Values) {
+					same = false
+					break
+				}
+				for j := range ra.Values {
+					if ra.Values[j] != rb.Values[j] {
+						same = false
+						break
+					}
+				}
+				if !same {
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 1 and 2 produced identical streams", name)
+		}
+	}
+}
+
+func TestSensorMixPerGame(t *testing.T) {
+	wantSensor := map[string]sensors.Kind{
+		"Colorphun":    sensors.Touch,
+		"MemoryGame":   sensors.Touch,
+		"CandyCrush":   sensors.Touch,
+		"Greenwall":    sensors.Touch,
+		"ABEvolution":  sensors.Gyro,
+		"ChaseWhisply": sensors.Camera,
+		"RaceKings":    sensors.Gyro,
+	}
+	for name, want := range wantSensor {
+		s := MustForGame(name).Generate(3, 10*units.Second)
+		found := false
+		for _, r := range s.All() {
+			if r.Sensor == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %v readings", name, want)
+		}
+	}
+	// Chase Whisply additionally needs GPS fixes.
+	s := MustForGame("ChaseWhisply").Generate(3, 10*units.Second)
+	gps := 0
+	for _, r := range s.All() {
+		if r.Sensor == sensors.GPS {
+			gps++
+		}
+	}
+	if gps < 5 {
+		t.Errorf("ChaseWhisply: %d GPS fixes in 10s", gps)
+	}
+}
+
+func TestTouchGesturesWellFormed(t *testing.T) {
+	// Every down must be closed by an up before the next down of the
+	// same pointer.
+	for _, name := range []string{"Colorphun", "CandyCrush", "ABEvolution"} {
+		s := MustForGame(name).Generate(5, 15*units.Second)
+		down := map[int64]bool{}
+		for _, r := range s.All() {
+			if r.Sensor != sensors.Touch {
+				continue
+			}
+			phase := sensors.TouchPhase(r.Values[0])
+			ptr := r.Values[4]
+			switch phase {
+			case sensors.TouchDown:
+				if down[ptr] {
+					t.Fatalf("%s: nested TouchDown", name)
+				}
+				down[ptr] = true
+			case sensors.TouchUp:
+				if !down[ptr] {
+					t.Fatalf("%s: TouchUp without TouchDown", name)
+				}
+				down[ptr] = false
+			case sensors.TouchMove:
+				if !down[ptr] {
+					t.Fatalf("%s: TouchMove without TouchDown", name)
+				}
+			}
+		}
+	}
+}
+
+func TestCoordinatesWithinScreen(t *testing.T) {
+	for _, name := range games.Names() {
+		s := MustForGame(name).Generate(11, 10*units.Second)
+		for _, r := range s.All() {
+			if r.Sensor != sensors.Touch {
+				continue
+			}
+			x, y := r.Values[1], r.Values[2]
+			if x < 0 || x >= 1440 || y < 0 || y >= 2560 {
+				t.Fatalf("%s: touch at (%d,%d) off-screen", name, x, y)
+			}
+		}
+	}
+}
