@@ -1,0 +1,30 @@
+#!/bin/sh
+# ci.sh — the repository's full gate. Mirrors what a CI runner executes:
+# static checks, a clean build, the full test suite, and the race
+# detector over every package that spawns goroutines (the parallel
+# engine and its consumers).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./internal/cloud .
+
+echo "ci: all green"

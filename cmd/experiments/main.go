@@ -22,9 +22,10 @@ func main() {
 	secs := flag.Int("secs", 45, "simulated seconds per session")
 	sessions := flag.Int("profile-sessions", 8, "training sessions per game")
 	epochs := flag.Int("epochs", 12, "continuous-learning epochs (fig 12)")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel runners; 0 = GOMAXPROCS (or $SNIP_WORKERS)")
 	flag.Parse()
 
-	scale := snip.ExperimentScale{SessionSeconds: *secs, ProfileSessions: *sessions}
+	scale := snip.ExperimentScale{SessionSeconds: *secs, ProfileSessions: *sessions, Workers: *workers}
 	w := os.Stdout
 
 	var err error

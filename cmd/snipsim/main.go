@@ -27,6 +27,7 @@ func main() {
 	profileSessions := flag.Int("profile-sessions", 8, "training sessions for the SNIP table")
 	list := flag.Bool("list", false, "list game workloads and exit")
 	check := flag.Bool("check", true, "shadow-check short-circuit correctness (snip only)")
+	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS (or $SNIP_WORKERS)")
 	flag.Parse()
 
 	if *list {
@@ -50,9 +51,12 @@ func main() {
 		profile, err := snip.Profile(*game, snip.ProfileOptions{
 			Sessions: *profileSessions,
 			Duration: opts.Duration,
+			Workers:  *workers,
 		})
 		fatalIf(err)
-		table, sel, err := snip.BuildTable(profile, snip.DefaultPFIOptions())
+		pfiOpts := snip.DefaultPFIOptions()
+		pfiOpts.Workers = *workers
+		table, sel, err := snip.BuildTable(profile, pfiOpts)
 		fatalIf(err)
 		fmt.Fprintf(os.Stderr, "PFI selected %dB of %dB input fields; table %d rows, %d bytes\n",
 			sel.SelectedBytes, sel.TotalInputBytes, table.Rows(), table.SizeBytes())

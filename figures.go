@@ -14,6 +14,11 @@ type ExperimentScale struct {
 	SessionSeconds int
 	// ProfileSessions per game before a table is built (default 8).
 	ProfileSessions int
+	// Workers bounds every fan-out inside the runners: games, profile
+	// sessions and the PFI search. <= 0 uses runtime.GOMAXPROCS(0)
+	// (overridable via the SNIP_WORKERS environment variable); results
+	// are identical for every worker count.
+	Workers int
 }
 
 // DefaultScale returns the repository's standard experiment scale.
@@ -27,6 +32,7 @@ func (s ExperimentScale) config() experiments.Config {
 	if s.ProfileSessions > 0 {
 		cfg.ProfileSessions = s.ProfileSessions
 	}
+	cfg.Workers = s.Workers
 	return cfg
 }
 

@@ -60,6 +60,61 @@ func TestReplayRejectsUnknownEventType(t *testing.T) {
 	}
 }
 
+// TestReplayBatchMatchesSerial checks the fan-out path: a parallel batch
+// replay must produce exactly the datasets serial replay would, in upload
+// order, for any worker count.
+func TestReplayBatchMatchesSerial(t *testing.T) {
+	const game = "Colorphun"
+	var logs []SessionLog
+	var want []*trace.Dataset
+	for seed := uint64(1); seed <= 4; seed++ {
+		dev := record(t, game, seed)
+		logs = append(logs, SessionLog{Seed: seed, Log: dev.EventLog})
+		want = append(want, dev.Dataset)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got, err := ReplayBatch(game, workers, logs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d datasets vs %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Len() != want[i].Len() {
+				t.Fatalf("workers=%d: dataset %d has %d records vs %d", workers, i, got[i].Len(), want[i].Len())
+			}
+			for j := range got[i].Records {
+				a, b := got[i].Records[j], want[i].Records[j]
+				if a.InputHash(nil) != b.InputHash(nil) || a.OutputHash() != b.OutputHash() {
+					t.Fatalf("workers=%d: dataset %d record %d diverged", workers, i, j)
+				}
+			}
+		}
+	}
+
+	// IngestLogs must equal ingesting the same logs one by one.
+	serial := NewProfiler(game, pfi.DefaultConfig())
+	for _, l := range logs {
+		if err := serial.IngestLog(l.Seed, l.Log); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := NewProfiler(game, pfi.DefaultConfig())
+	if err := batch.IngestLogs(4, logs); err != nil {
+		t.Fatal(err)
+	}
+	if serial.ProfileLen() != batch.ProfileLen() {
+		t.Fatalf("batch profile %d records vs serial %d", batch.ProfileLen(), serial.ProfileLen())
+	}
+	for i := range serial.profile.Records {
+		a, b := serial.profile.Records[i], batch.profile.Records[i]
+		if a.InputHash(nil) != b.InputHash(nil) || a.OutputHash() != b.OutputHash() {
+			t.Fatalf("batch profile record %d diverged from serial ingest", i)
+		}
+	}
+}
+
 func TestProfilerRebuild(t *testing.T) {
 	p := NewProfiler("Greenwall", pfi.DefaultConfig())
 	if _, err := p.Rebuild(); err == nil {

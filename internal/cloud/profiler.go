@@ -14,6 +14,7 @@ import (
 	"snip/internal/events"
 	"snip/internal/games"
 	"snip/internal/memo"
+	"snip/internal/parallel"
 	"snip/internal/pfi"
 	"snip/internal/trace"
 	"snip/internal/units"
@@ -62,6 +63,25 @@ func eventTypeByName(name string) (events.Type, error) {
 		}
 	}
 	return 0, fmt.Errorf("cloud: unknown event type %q", name)
+}
+
+// SessionLog is one uploaded session awaiting replay: the events-only
+// log plus the seed that regenerates the game content it was played on.
+type SessionLog struct {
+	Seed uint64
+	Log  *trace.EventLog
+}
+
+// ReplayBatch replays many sessions against the emulator fleet — the
+// paper's cloud profiler runs exactly this fan-out of parallel emulator
+// replays (§VI, Fig. 10). Each session replays on its own worker (each
+// builds a private game instance); results come back in input order, so
+// the batch is byte-identical to replaying the logs serially. workers
+// <= 0 selects parallel.DefaultWorkers().
+func ReplayBatch(gameName string, workers int, logs []SessionLog) ([]*trace.Dataset, error) {
+	return parallel.Map(workers, len(logs), func(i int) (*trace.Dataset, error) {
+		return Replay(gameName, logs[i].Seed, logs[i].Log)
+	})
 }
 
 // TableUpdate is the OTA payload the cloud sends back to devices: the
@@ -113,6 +133,22 @@ func (p *Profiler) IngestLog(seed uint64, log *trace.EventLog) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.profile.Merge(ds)
+	return nil
+}
+
+// IngestLogs replays a batch of events-only logs in parallel and merges
+// the reconstructed records into the profile in upload order. workers
+// <= 0 selects parallel.DefaultWorkers().
+func (p *Profiler) IngestLogs(workers int, logs []SessionLog) error {
+	batch, err := ReplayBatch(p.game, workers, logs)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ds := range batch {
+		p.profile.Merge(ds)
+	}
 	return nil
 }
 

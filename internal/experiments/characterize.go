@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"snip/internal/energy"
+	"snip/internal/parallel"
 	"snip/internal/schemes"
 	"snip/internal/stats"
 )
@@ -15,18 +16,21 @@ type Fig2Result struct {
 	Shares [][energy.NumGroups]float64 // per game, in group order
 }
 
-// Fig2EnergyBreakdown runs a baseline session per game and measures the
-// component-group energy split.
+// Fig2EnergyBreakdown runs a baseline session per game (one worker per
+// game) and measures the component-group energy split.
 func Fig2EnergyBreakdown(cfg Config) (*Fig2Result, error) {
-	res := &Fig2Result{}
-	for _, g := range GameNames() {
-		r, err := schemes.Run(schemes.Config{
-			Game: g, Seed: cfg.DeploySeed, Duration: cfg.Duration(), Scheme: schemes.Baseline,
+	games := GameNames()
+	runs, err := parallel.Map(cfg.Workers, len(games), func(i int) (*schemes.Result, error) {
+		return schemes.Run(schemes.Config{
+			Game: games[i], Seed: cfg.DeploySeed, Duration: cfg.Duration(), Scheme: schemes.Baseline,
 		})
-		if err != nil {
-			return nil, err
-		}
-		res.Games = append(res.Games, g)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{}
+	for i, r := range runs {
+		res.Games = append(res.Games, games[i])
 		res.Shares = append(res.Shares, r.Breakdown)
 	}
 	return res, nil
@@ -53,19 +57,27 @@ type Fig3Result struct {
 	IdleHours float64
 }
 
-// Fig3BatteryDrain measures each game's average power draw and
-// extrapolates to a full battery drain, the paper's methodology.
+// Fig3BatteryDrain measures each game's average power draw (one worker
+// per game) and extrapolates to a full battery drain, the paper's
+// methodology.
 func Fig3BatteryDrain(cfg Config) (*Fig3Result, error) {
-	res := &Fig3Result{IdleHours: schemes.IdlePhoneHours(nil)}
-	for _, g := range GameNames() {
+	games := GameNames()
+	hours, err := parallel.Map(cfg.Workers, len(games), func(i int) (float64, error) {
 		r, err := schemes.Run(schemes.Config{
-			Game: g, Seed: cfg.DeploySeed, Duration: cfg.Duration(), Scheme: schemes.Baseline,
+			Game: games[i], Seed: cfg.DeploySeed, Duration: cfg.Duration(), Scheme: schemes.Baseline,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		res.Games = append(res.Games, g)
-		res.Hours = append(res.Hours, r.BatteryHours())
+		return r.BatteryHours(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{IdleHours: schemes.IdlePhoneHours(nil)}
+	for i, h := range hours {
+		res.Games = append(res.Games, games[i])
+		res.Hours = append(res.Hours, h)
 	}
 	return res, nil
 }
@@ -97,15 +109,18 @@ type Fig4Result struct {
 }
 
 // Fig4UselessEvents runs baseline sessions with ground-truth state-change
-// tracking.
+// tracking, one worker per game.
 func Fig4UselessEvents(cfg Config) (*Fig4Result, error) {
+	games := GameNames()
+	runs, err := parallel.Map(cfg.Workers, len(games), func(i int) (*schemes.Result, error) {
+		return schemes.Profile(games[i], cfg.DeploySeed, cfg.Duration())
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig4Result{}
-	for _, g := range GameNames() {
-		r, err := schemes.Profile(g, cfg.DeploySeed, cfg.Duration())
-		if err != nil {
-			return nil, err
-		}
-		res.Games = append(res.Games, g)
+	for i, r := range runs {
+		res.Games = append(res.Games, games[i])
 		res.UselessEvents = append(res.UselessEvents, r.UselessFraction())
 		res.WastedEnergy = append(res.WastedEnergy, float64(r.UselessEnergy)/float64(r.Energy))
 		user := r.Dataset.FilterTypes("vsync")

@@ -8,6 +8,7 @@ package experiments
 import (
 	"snip/internal/games"
 	"snip/internal/memo"
+	"snip/internal/parallel"
 	"snip/internal/pfi"
 	"snip/internal/schemes"
 	"snip/internal/trace"
@@ -28,6 +29,11 @@ type Config struct {
 	ProfileSeedBase uint64
 	// PFI tunes the necessary-input selection.
 	PFI pfi.Config
+	// Workers bounds the fan-out over profile sessions, over games in
+	// the per-game runners, and (unless PFI.Workers is set explicitly)
+	// the PFI search. <= 0 means parallel.DefaultWorkers(). Every
+	// experiment returns identical results for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the scale used throughout the repository: 45 s
@@ -51,15 +57,23 @@ func (c Config) Duration() units.Time {
 // GameNames returns the seven games in the paper's complexity order.
 func GameNames() []string { return games.Names() }
 
-// profile builds the merged multi-session profile of one game.
+// profile builds the merged multi-session profile of one game: one
+// worker per session seed, merged in seed order so the dataset is
+// byte-identical to a serial replay.
 func (c Config) profile(game string) (*trace.Dataset, error) {
-	ds := &trace.Dataset{Game: game}
-	for i := 0; i < c.ProfileSessions; i++ {
+	sessions, err := parallel.Map(c.Workers, c.ProfileSessions, func(i int) (*trace.Dataset, error) {
 		r, err := schemes.Profile(game, c.ProfileSeedBase+uint64(i), c.Duration())
 		if err != nil {
 			return nil, err
 		}
-		ds.Merge(r.Dataset)
+		return r.Dataset, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds := &trace.Dataset{Game: game}
+	for _, s := range sessions {
+		ds.Merge(s)
 	}
 	return ds, nil
 }
@@ -73,6 +87,9 @@ func (c Config) buildTable(game string) (*memo.SnipTable, *pfi.Result, *trace.Da
 		return nil, nil, nil, err
 	}
 	pfiCfg := c.PFI
+	if pfiCfg.Workers == 0 {
+		pfiCfg.Workers = c.Workers
+	}
 	g, err := games.New(game)
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"snip/internal/parallel"
 	"snip/internal/schemes"
 	"snip/internal/stats"
 	"snip/internal/units"
@@ -44,14 +45,19 @@ type Fig11Result struct {
 
 // Fig11Schemes runs the full evaluation: per game, profile on the
 // training seeds, build the PFI table, then run the deployment session
-// under every scheme.
+// under every scheme. Games fan out across workers; within a game the
+// five schemes stay in comparison order because later schemes are
+// measured against the baseline result and share the game's SnipTable
+// (whose lookup counters are reset between schemes).
 func Fig11Schemes(cfg Config) (*Fig11Result, error) {
+	rows, err := parallel.Map(cfg.Workers, len(GameNames()), func(i int) (*Fig11Row, error) {
+		return fig11Game(cfg, GameNames()[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig11Result{}
-	for _, g := range GameNames() {
-		row, err := fig11Game(cfg, g)
-		if err != nil {
-			return nil, err
-		}
+	for _, row := range rows {
 		out.Rows = append(out.Rows, *row)
 	}
 	return out, nil

@@ -1,0 +1,137 @@
+package memo
+
+import (
+	"testing"
+
+	"snip/internal/trace"
+)
+
+// benchSelection mimics a realistic PFI outcome: a couple of In.Event
+// fields folded into the bucket index plus a few state fields compared
+// per candidate.
+func benchSelection() Selection {
+	sel := Selection{"tap": {
+		{Name: "event.tap.x", Category: trace.InEvent, Size: 4},
+		{Name: "event.tap.y", Category: trace.InEvent, Size: 4},
+		{Name: "state.mode", Category: trace.InHistory, Size: 1},
+		{Name: "state.level", Category: trace.InHistory, Size: 2},
+		{Name: "state.combo", Category: trace.InHistory, Size: 2},
+	}}
+	sel.Canonicalize()
+	return sel
+}
+
+// benchTable populates a table with n distinct rows under benchSelection.
+func benchTable(n int) *SnipTable {
+	t := NewSnipTable(benchSelection())
+	for i := 0; i < n; i++ {
+		x, y := uint64(i%32), uint64((i/32)%32)
+		mode, level, combo := uint64(i%3), uint64(i%7), uint64(i%5)
+		t.Insert(&trace.Record{
+			EventSeq: int64(i), EventType: "tap", Instr: 100, StateChanged: true,
+			Inputs: []trace.Field{
+				{Name: "event.tap.x", Category: trace.InEvent, Size: 4, Value: x},
+				{Name: "event.tap.y", Category: trace.InEvent, Size: 4, Value: y},
+				{Name: "state.mode", Category: trace.InHistory, Size: 1, Value: mode},
+				{Name: "state.level", Category: trace.InHistory, Size: 2, Value: level},
+				{Name: "state.combo", Category: trace.InHistory, Size: 2, Value: combo},
+			},
+			Outputs: []trace.Field{
+				{Name: "state.out", Category: trace.OutHistory, Size: 4, Value: x + y},
+			},
+		})
+	}
+	return t
+}
+
+// hitResolver serves the values of row i of benchTable's population.
+func hitResolver(i int) Resolver {
+	x, y := uint64(i%32), uint64((i/32)%32)
+	mode, level, combo := uint64(i%3), uint64(i%7), uint64(i%5)
+	vals := map[string]uint64{
+		"event.tap.x": x, "event.tap.y": y,
+		"state.mode": mode, "state.level": level, "state.combo": combo,
+	}
+	return func(name string) (uint64, bool) {
+		v, ok := vals[name]
+		return v, ok
+	}
+}
+
+func BenchmarkSelectionKeys(b *testing.B) {
+	sel := benchSelection()
+	resolve := hitResolver(1234)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkE, sinkS = sel.KeysFromRuntime("tap", resolve)
+	}
+}
+
+var sinkE, sinkS uint64
+
+func BenchmarkSnipTableLookupHit(b *testing.B) {
+	t := benchTable(2048)
+	resolve := hitResolver(777)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := t.Lookup("tap", resolve); !ok {
+			b.Fatal("expected hit")
+		}
+	}
+}
+
+func BenchmarkSnipTableLookupMiss(b *testing.B) {
+	t := benchTable(2048)
+	// A value combination never inserted: x beyond the population range.
+	vals := map[string]uint64{
+		"event.tap.x": 99, "event.tap.y": 99,
+		"state.mode": 9, "state.level": 9, "state.combo": 9,
+	}
+	resolve := func(name string) (uint64, bool) { v, ok := vals[name]; return v, ok }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := t.Lookup("tap", resolve); ok {
+			b.Fatal("expected miss")
+		}
+	}
+}
+
+func BenchmarkBuildSnip(b *testing.B) {
+	d := synthProfile(4096)
+	sel := Selection{"tap": {
+		{Name: "event.tap.x", Category: trace.InEvent, Size: 4},
+		{Name: "state.mode", Category: trace.InHistory, Size: 1},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := BuildSnip(d, sel); t.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkBuildNaive(b *testing.B) {
+	d := synthProfile(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := BuildNaive(d); t.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkBuildEventOnly(b *testing.B) {
+	d := synthProfile(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := BuildEventOnly(d); t.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}

@@ -36,8 +36,9 @@ func BuildEventOnly(d *trace.Dataset) *EventOnlyTable {
 			t.inWidth += f.Size
 		}
 	}
+	th := typeHashes{}
 	for _, r := range d.Records {
-		key := trace.Combine(r.EventHash, trace.HashString(r.EventType))
+		key := trace.Combine(r.EventHash, th.of(r.EventType))
 		row, ok := t.rows[key]
 		outHash := r.OutputHash()
 		if !ok {
@@ -92,8 +93,9 @@ func (t *EventOnlyTable) Evaluate(d *trace.Dataset) EventOnlyStats {
 	}
 	seen := make(map[uint64]bool, len(t.rows))
 	var coveredInstr, ambiguousInstr int64
+	th := typeHashes{}
 	for _, r := range d.Records {
-		key := trace.Combine(r.EventHash, trace.HashString(r.EventType))
+		key := trace.Combine(r.EventHash, th.of(r.EventType))
 		row := t.rows[key]
 		if row == nil {
 			continue

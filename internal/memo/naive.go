@@ -41,6 +41,20 @@ type naiveRow struct {
 	repeatInstr int64 // dynamic-instruction weight of those recurrences
 }
 
+// typeHashes memoizes trace.HashString per event type: profiles hold a
+// handful of types but hundreds of thousands of records, so the build
+// and evaluate loops would otherwise rehash the same few names per row.
+type typeHashes map[string]uint64
+
+func (th typeHashes) of(eventType string) uint64 {
+	h, ok := th[eventType]
+	if !ok {
+		h = trace.HashString(eventType)
+		th[eventType] = h
+	}
+	return h
+}
+
 // BuildNaive constructs the naive table from a profile and reports its
 // hit statistics. The key of a record is the hash of ALL its input field
 // values plus the event type (the union record).
@@ -50,11 +64,12 @@ func BuildNaive(d *trace.Dataset) *NaiveTable {
 		outWidth: d.UnionOutputWidth(),
 		rows:     make(map[uint64]*naiveRow),
 	}
+	th := typeHashes{}
 	for _, r := range d.Records {
 		// The union record spans every input location the app has — two
 		// executions share a row only when the whole state AND the event
 		// object match byte for byte.
-		key := trace.Combine(r.InputHash(nil), trace.HashString(r.EventType))
+		key := trace.Combine(r.InputHash(nil), th.of(r.EventType))
 		key = trace.Combine(key, r.PreStateHash)
 		if row, ok := t.rows[key]; ok {
 			row.repeats++

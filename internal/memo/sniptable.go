@@ -13,6 +13,11 @@ type SelectedField struct {
 	Name     string
 	Category trace.Category
 	Size     units.Size
+	// NameHash caches trace.HashString(Name). keys folds every selected
+	// field's name hash into the lookup key on EVERY event, so rehashing
+	// the name per lookup would put a string walk on the hottest path in
+	// the repo. Canonicalize fills it; zero means "not yet computed".
+	NameHash uint64
 }
 
 // Selection maps each event type to its necessary input fields, in a
@@ -20,10 +25,14 @@ type SelectedField struct {
 // ships to the device in an OTA update.
 type Selection map[string][]SelectedField
 
-// Canonicalize sorts each type's fields by name so key hashing is stable.
+// Canonicalize sorts each type's fields by name so key hashing is stable
+// and precomputes each field's NameHash for the lookup hot path.
 func (s Selection) Canonicalize() {
 	for _, fs := range s {
 		sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+		for i := range fs {
+			fs[i].NameHash = trace.HashString(fs[i].Name)
+		}
 	}
 }
 
@@ -108,11 +117,15 @@ func (s Selection) keys(eventType string, value func(name string) (uint64, bool)
 		if rv, ok := value(sf.Name); ok {
 			v = rv
 		}
+		nh := sf.NameHash
+		if nh == 0 { // selection built without Canonicalize
+			nh = trace.HashString(sf.Name)
+		}
 		if sf.Category == trace.InEvent {
-			eventKey = trace.Combine(eventKey, trace.HashString(sf.Name))
+			eventKey = trace.Combine(eventKey, nh)
 			eventKey = trace.Combine(eventKey, v)
 		} else {
-			stateKey = trace.Combine(stateKey, trace.HashString(sf.Name))
+			stateKey = trace.Combine(stateKey, nh)
 			stateKey = trace.Combine(stateKey, v)
 		}
 	}
@@ -157,6 +170,9 @@ type Bucket struct {
 type SnipTable struct {
 	sel     Selection
 	buckets map[string]map[uint64]*Bucket
+	// stateWidth caches Selection.StateWidth per event type; Lookup needs
+	// it on every event and the selection is immutable once deployed.
+	stateWidth map[string]units.Size
 
 	lookups        int64
 	hits           int64
@@ -177,7 +193,17 @@ func BuildSnip(d *trace.Dataset, sel Selection) *SnipTable {
 // NewSnipTable returns an empty table under a selection.
 func NewSnipTable(sel Selection) *SnipTable {
 	sel.Canonicalize()
-	return &SnipTable{sel: sel, buckets: make(map[string]map[uint64]*Bucket)}
+	t := &SnipTable{sel: sel, buckets: make(map[string]map[uint64]*Bucket)}
+	t.cacheWidths()
+	return t
+}
+
+// cacheWidths precomputes the per-type state width Lookup charges.
+func (t *SnipTable) cacheWidths() {
+	t.stateWidth = make(map[string]units.Size, len(t.sel))
+	for et := range t.sel {
+		t.stateWidth[et] = t.sel.StateWidth(et)
+	}
 }
 
 // Selection returns the table's field selection.
@@ -228,7 +254,7 @@ func sameOutputs(a, b []trace.Field) bool {
 func (t *SnipTable) Lookup(eventType string, resolve Resolver) (entry *SnipEntry, probes int64, comparedBytes units.Size, ok bool) {
 	t.lookups++
 	byEvent := t.buckets[eventType]
-	width := t.sel.StateWidth(eventType)
+	width := t.stateWidth[eventType]
 	if byEvent == nil {
 		return nil, 0, 0, false
 	}

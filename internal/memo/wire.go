@@ -33,5 +33,7 @@ func FromWire(w *Wire) *SnipTable {
 		sel = Selection{}
 	}
 	sel.Canonicalize()
-	return &SnipTable{sel: sel, buckets: w.Buckets}
+	t := &SnipTable{sel: sel, buckets: w.Buckets}
+	t.cacheWidths()
+	return t
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"snip/internal/memo"
+	"snip/internal/parallel"
 	"snip/internal/rng"
 	"snip/internal/trace"
 	"snip/internal/units"
@@ -51,6 +52,12 @@ type Config struct {
 	ForceExclude map[string]bool
 	// Log, when non-nil, receives a line per elimination decision.
 	Log io.Writer
+	// Workers bounds the fan-out across event types and across the
+	// per-field permutation scoring (<= 0 means parallel.DefaultWorkers).
+	// Results are identical for every worker count: each type and each
+	// field owns a pre-Split rng.Source, so the shuffle streams do not
+	// depend on scheduling.
+	Workers int
 }
 
 // DefaultConfig returns the standard tuning.
@@ -141,11 +148,36 @@ func Run(d *trace.Dataset, cfg Config) (*Result, error) {
 	res := &Result{Selection: memo.Selection{}}
 	res.InputBytesTotal = d.UnionInputWidth()
 
-	for _, td := range splitByType(d, cfg.TrainFrac) {
-		sel, imps, curve := selectForType(td, cfg, r.Split())
-		res.Selection[td.eventType] = sel
-		res.Importance = append(res.Importance, imps...)
-		res.Curve = append(res.Curve, curve...)
+	// Pre-split one source per event type IN TYPE ORDER before fanning
+	// out, so each type's shuffle stream is a pure function of the seed
+	// and the type's position — never of goroutine interleaving.
+	types := splitByType(d, cfg.TrainFrac)
+	srcs := make([]*rng.Source, len(types))
+	for i := range types {
+		srcs[i] = r.Split()
+	}
+	type typeResult struct {
+		sel   []memo.SelectedField
+		imps  []FieldImportance
+		curve []TrimPoint
+	}
+	// Elimination logging writes one line per decision; keep the type
+	// fan-out serial when a log is attached so lines stay in type order.
+	typeWorkers := cfg.Workers
+	if cfg.Log != nil {
+		typeWorkers = 1
+	}
+	results, err := parallel.Map(typeWorkers, len(types), func(i int) (typeResult, error) {
+		sel, imps, curve := selectForType(types[i], cfg, srcs[i])
+		return typeResult{sel: sel, imps: imps, curve: curve}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tr := range results {
+		res.Selection[types[i].eventType] = tr.sel
+		res.Importance = append(res.Importance, tr.imps...)
+		res.Curve = append(res.Curve, tr.curve...)
 	}
 	res.Selection.Canonicalize()
 	res.SelectedBytes = res.Selection.TotalWidth()
@@ -211,17 +243,34 @@ func fieldUniverse(recs []*trace.Record) []fieldMeta {
 	return out
 }
 
+// fieldKey pairs a field name with its precomputed trace.HashString:
+// keyOf runs once per record per evaluation pass (O(records × fields ×
+// permutations) over a PFI search), so the name is hashed once per model
+// instead of once per record.
+type fieldKey struct {
+	name string
+	hash uint64
+}
+
+func hashFields(names []string) []fieldKey {
+	out := make([]fieldKey, len(names))
+	for i, n := range names {
+		out[i] = fieldKey{name: n, hash: trace.HashString(n)}
+	}
+	return out
+}
+
 // model is the table predictor over a field subset.
 type model struct {
-	fields []string // selected field names, sorted
+	fields []fieldKey // selected fields, sorted by name
 	rows   map[uint64][]trace.Field
 	instr  map[uint64]int64
 }
 
 func trainModel(recs []*trace.Record, fields []string) *model {
-	m := &model{fields: fields, rows: make(map[uint64][]trace.Field), instr: make(map[uint64]int64)}
+	m := &model{fields: hashFields(fields), rows: make(map[uint64][]trace.Field), instr: make(map[uint64]int64)}
 	for _, rec := range recs {
-		k := keyOf(rec, fields, nil)
+		k := keyOf(rec, m.fields, nil)
 		if _, ok := m.rows[k]; !ok {
 			m.rows[k] = rec.Outputs
 			m.instr[k] = rec.Instr
@@ -232,16 +281,16 @@ func trainModel(recs []*trace.Record, fields []string) *model {
 
 // keyOf hashes the record's values of the given fields; override (may be
 // nil) substitutes values for permutation-importance shuffles.
-func keyOf(rec *trace.Record, fields []string, override map[string]uint64) uint64 {
+func keyOf(rec *trace.Record, fields []fieldKey, override map[string]uint64) uint64 {
 	h := uint64(1469598103934665603)
-	for _, name := range fields {
+	for _, fk := range fields {
 		v := uint64(0xdeadbeefcafef00d) // absent sentinel (matches memo)
-		if ov, ok := override[name]; ok {
+		if ov, ok := override[fk.name]; ok {
 			v = ov
-		} else if f, ok := rec.Input(name); ok {
+		} else if f, ok := rec.Input(fk.name); ok {
 			v = f.Value
 		}
-		h = trace.Combine(h, trace.HashString(name))
+		h = trace.Combine(h, fk.hash)
 		h = trace.Combine(h, v)
 	}
 	return h
@@ -328,10 +377,17 @@ func selectForType(td *typeData, cfg Config, r *rng.Source) ([]memo.SelectedFiel
 	// Permutation importance: shuffle one column's values across the
 	// validation records and measure the error increase. Errors in
 	// History/Extern outputs are weighted 10× over Temp — the categories
-	// whose corruption poisons future execution.
+	// whose corruption poisons future execution. Each field is scored on
+	// its own pre-Split source (split in sorted-name order), so the
+	// scores are independent of how the fields are scheduled across
+	// workers — Workers=1 and Workers=N shuffle identically.
 	score := func(m Metrics) float64 { return 10*m.NonTempError + m.TempError }
-	imps := make([]FieldImportance, 0, len(names))
-	for _, name := range names {
+	fieldSrcs := make([]*rng.Source, len(names))
+	for i := range names {
+		fieldSrcs[i] = r.Split()
+	}
+	imps, _ := parallel.Map(cfg.Workers, len(names), func(fi int) (FieldImportance, error) {
+		name, fr := names[fi], fieldSrcs[fi]
 		var total float64
 		for p := 0; p < cfg.Permutations; p++ {
 			// Collect the column, shuffle, build per-record overrides.
@@ -343,7 +399,7 @@ func selectForType(td *typeData, cfg Config, r *rng.Source) ([]memo.SelectedFiel
 					vals[i] = 0xdeadbeefcafef00d
 				}
 			}
-			r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+			fr.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
 			override := make(map[int]map[string]uint64, len(vals))
 			for i, v := range vals {
 				override[i] = map[string]uint64{name: v}
@@ -352,11 +408,11 @@ func selectForType(td *typeData, cfg Config, r *rng.Source) ([]memo.SelectedFiel
 			total += score(perm) - score(base)
 		}
 		meta := metaByName[name]
-		imps = append(imps, FieldImportance{
+		return FieldImportance{
 			Name: name, Category: meta.category, Size: meta.size,
 			EventType: td.eventType, Importance: total / float64(cfg.Permutations),
-		})
-	}
+		}, nil
+	})
 
 	// Backward elimination, least important first. Larger fields break
 	// ties so the table shrinks fastest.
