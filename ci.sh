@@ -25,6 +25,17 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./internal/cloud .
+go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./internal/cloud ./internal/obs .
+
+echo "== allocation gate (memo lookup + metrics hot paths must stay 0 allocs/op)"
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|CounterInc|GaugeSet|HistogramObserve|TracerRecord' \
+	-benchmem -benchtime 1000x ./internal/memo ./internal/obs)
+echo "$alloc_out"
+bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')
+if [ -n "$bad" ]; then
+	echo "allocation regression on the hot path:" >&2
+	echo "$bad" >&2
+	exit 1
+fi
 
 echo "ci: all green"

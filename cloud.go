@@ -1,6 +1,8 @@
 package snip
 
 import (
+	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -21,8 +23,25 @@ func NewCloudService(o PFIOptions) *CloudService {
 	return &CloudService{svc: cloud.NewService(o.config())}
 }
 
-// Handler returns the HTTP handler to mount.
+// Handler returns the HTTP handler to mount. Besides the profiler
+// endpoints it serves GET /v1/metrics: a Prometheus-text exposition of
+// the service's request, upload, rebuild and PFI-search series.
 func (s *CloudService) Handler() http.Handler { return s.svc.Handler() }
+
+// SetLogger attaches a structured logger for request and rebuild
+// events; nil disables logging.
+func (s *CloudService) SetLogger(l *slog.Logger) { s.svc.SetLogger(l) }
+
+// WriteMetricsText writes the service's metrics in Prometheus text
+// exposition format (the same content GET /v1/metrics serves).
+func (s *CloudService) WriteMetricsText(w io.Writer) error {
+	return s.svc.Metrics().WritePrometheus(w)
+}
+
+// WriteMetricsJSON writes a JSON snapshot of the service's metrics.
+func (s *CloudService) WriteMetricsJSON(w io.Writer) error {
+	return s.svc.Metrics().WriteJSON(w)
+}
 
 // CloudClient is the device side: record a session, upload it, fetch the
 // refreshed table.

@@ -13,23 +13,68 @@
 //	POST /v1/rebuild?game=G
 //	GET  /v1/table?game=G
 //	GET  /v1/status?game=G
+//	GET  /v1/metrics                 (Prometheus text exposition)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"snip"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8370", "listen address")
+	metricsMode := flag.String("metrics", "", "dump collected metrics to stderr at exit: text (Prometheus) | json")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *metricsMode != "" && *metricsMode != "text" && *metricsMode != "json" {
+		logger.Error("bad -metrics mode", "mode", *metricsMode)
+		os.Exit(2)
+	}
+
 	svc := snip.NewCloudService(snip.DefaultPFIOptions())
-	log.Printf("profilerd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
-		log.Fatal(err)
+	svc.SetLogger(logger)
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("profilerd listening", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			logger.Error("shutdown failed", "err", err)
+		}
+	}
+
+	switch *metricsMode {
+	case "text":
+		if err := svc.WriteMetricsText(os.Stderr); err != nil {
+			logger.Error("metrics dump failed", "err", err)
+		}
+	case "json":
+		if err := svc.WriteMetricsJSON(os.Stderr); err != nil {
+			logger.Error("metrics dump failed", "err", err)
+		}
 	}
 }

@@ -28,7 +28,13 @@ func main() {
 	list := flag.Bool("list", false, "list game workloads and exit")
 	check := flag.Bool("check", true, "shadow-check short-circuit correctness (snip only)")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS (or $SNIP_WORKERS)")
+	metricsMode := flag.String("metrics", "", "dump collected metrics at exit: text (Prometheus) | json")
 	flag.Parse()
+
+	if *metricsMode != "" && *metricsMode != "text" && *metricsMode != "json" {
+		fmt.Fprintf(os.Stderr, "snipsim: -metrics must be text or json, got %q\n", *metricsMode)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, g := range snip.Games() {
@@ -44,6 +50,11 @@ func main() {
 		Scheme:           snip.Scheme(*scheme),
 		CheckCorrectness: *check,
 	}
+	var met *snip.Metrics
+	if *metricsMode != "" {
+		met = snip.NewMetrics()
+		opts.Metrics = met
+	}
 
 	needsTable := opts.Scheme == snip.SchemeSNIP || opts.Scheme == snip.SchemeNoOverheads
 	if needsTable {
@@ -56,10 +67,14 @@ func main() {
 		fatalIf(err)
 		pfiOpts := snip.DefaultPFIOptions()
 		pfiOpts.Workers = *workers
+		pfiOpts.Metrics = met
 		table, sel, err := snip.BuildTable(profile, pfiOpts)
 		fatalIf(err)
 		fmt.Fprintf(os.Stderr, "PFI selected %dB of %dB input fields; table %d rows, %d bytes\n",
 			sel.SelectedBytes, sel.TotalInputBytes, table.Rows(), table.SizeBytes())
+		if met != nil {
+			table.Instrument(met)
+		}
 		opts.Table = table
 	}
 
@@ -99,6 +114,15 @@ func main() {
 				rep.ErrorFields.Predicted, rep.ErrorFields.Temp,
 				rep.ErrorFields.History, rep.ErrorFields.Extern)
 		}
+	}
+
+	// The metrics snapshot goes to stderr so the report on stdout stays
+	// byte-identical with and without instrumentation.
+	switch *metricsMode {
+	case "text":
+		fatalIf(met.WriteText(os.Stderr))
+	case "json":
+		fatalIf(met.WriteJSON(os.Stderr))
 	}
 }
 

@@ -5,11 +5,15 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
 	"snip/internal/memo"
+	"snip/internal/obs"
 	"snip/internal/pfi"
 	"snip/internal/trace"
 )
@@ -21,17 +25,77 @@ import (
 //	POST /v1/rebuild?game=G         retrain PFI, build a new table
 //	GET  /v1/table?game=G           latest OTA table (gob)
 //	GET  /v1/status?game=G          text status
+//	GET  /v1/metrics                Prometheus text exposition
 type Service struct {
 	mu        sync.Mutex
 	cfg       pfi.Config
 	profilers map[string]*Profiler
+	reg       *obs.Registry
+	met       *serviceMetrics
+	log       *slog.Logger
+}
+
+// serviceMetrics holds the cloud-side series: business counters plus
+// per-endpoint request accounting fed by the latency middleware.
+type serviceMetrics struct {
+	uploads      *obs.Counter
+	records      *obs.Counter
+	rebuilds     *obs.Counter
+	rebuildFails *obs.Counter
+	tablesServed *obs.Counter
+
+	requests  map[string]*obs.Counter   // by endpoint
+	errors    map[string]*obs.Counter   // by endpoint, status >= 400
+	latencyNS map[string]*obs.Histogram // by endpoint
+}
+
+// endpoints the middleware tracks; fixed so every series exists from
+// the first scrape rather than appearing after first use.
+var endpointNames = []string{"upload", "rebuild", "table", "status", "metrics"}
+
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	m := &serviceMetrics{
+		uploads:      reg.Counter("snip_cloud_uploads_total", "event logs ingested"),
+		records:      reg.Counter("snip_cloud_records_total", "profile records reconstructed from uploads"),
+		rebuilds:     reg.Counter("snip_cloud_rebuilds_total", "PFI rebuilds completed"),
+		rebuildFails: reg.Counter("snip_cloud_rebuild_failures_total", "PFI rebuilds that errored"),
+		tablesServed: reg.Counter("snip_cloud_tables_served_total", "OTA table downloads served"),
+		requests:     make(map[string]*obs.Counter, len(endpointNames)),
+		errors:       make(map[string]*obs.Counter, len(endpointNames)),
+		latencyNS:    make(map[string]*obs.Histogram, len(endpointNames)),
+	}
+	for _, ep := range endpointNames {
+		m.requests[ep] = reg.Counter(
+			`snip_cloud_requests_total{endpoint="`+ep+`"}`, "HTTP requests received")
+		m.errors[ep] = reg.Counter(
+			`snip_cloud_request_errors_total{endpoint="`+ep+`"}`, "HTTP requests answered with status >= 400")
+		m.latencyNS[ep] = reg.Histogram(
+			`snip_cloud_request_ns{endpoint="`+ep+`"}`, "request handling wall time in nanoseconds", obs.NanoBuckets())
+	}
+	return m
 }
 
 // NewService builds an empty service; profilers are created per game on
-// first upload.
+// first upload. Every service owns a metrics registry (see Metrics)
+// exposed at GET /v1/metrics.
 func NewService(cfg pfi.Config) *Service {
-	return &Service{cfg: cfg, profilers: make(map[string]*Profiler)}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg // rebuild-time PFI searches surface in /v1/metrics
+	return &Service{
+		cfg:       cfg,
+		profilers: make(map[string]*Profiler),
+		reg:       reg,
+		met:       newServiceMetrics(reg),
+	}
 }
+
+// Metrics returns the service's registry, for embedding its series into
+// a larger exposition or snapshotting in tests.
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// SetLogger attaches a structured logger for request and rebuild
+// events. Nil (the default) disables logging.
+func (s *Service) SetLogger(l *slog.Logger) { s.log = l }
 
 func (s *Service) profiler(game string) *Profiler {
 	s.mu.Lock()
@@ -44,20 +108,65 @@ func (s *Service) profiler(game string) *Profiler {
 	return p
 }
 
+// statusWriter captures the response code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, latency measurement
+// and structured logging for one endpoint.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.met.requests[endpoint].Inc()
+		s.met.latencyNS[endpoint].Observe(elapsed.Nanoseconds())
+		if sw.code >= 400 {
+			s.met.errors[endpoint].Inc()
+		}
+		if s.log != nil {
+			s.log.Info("request",
+				"endpoint", endpoint, "method", r.Method,
+				"game", r.URL.Query().Get("game"),
+				"status", sw.code, "elapsed", elapsed)
+		}
+	}
+}
+
 // Handler returns the HTTP handler.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/upload", s.handleUpload)
-	mux.HandleFunc("POST /v1/rebuild", s.handleRebuild)
-	mux.HandleFunc("GET /v1/table", s.handleTable)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/upload", s.instrument("upload", s.handleUpload))
+	mux.HandleFunc("POST /v1/rebuild", s.instrument("rebuild", s.handleRebuild))
+	mux.HandleFunc("GET /v1/table", s.instrument("table", s.handleTable))
+	mux.HandleFunc("GET /v1/status", s.instrument("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
 
-func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
+// gameParam extracts and validates the required ?game= query parameter.
+// On a missing value it writes a 400 and returns ok=false; every
+// endpoint that keys on a game shares this check.
+func gameParam(w http.ResponseWriter, r *http.Request) (string, bool) {
 	game := r.URL.Query().Get("game")
 	if game == "" {
 		http.Error(w, "missing game", http.StatusBadRequest)
+		return "", false
+	}
+	return game, true
+}
+
+func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
+	game, ok := gameParam(w, r)
+	if !ok {
 		return
 	}
 	seed, err := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
@@ -70,25 +179,44 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad log: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.profiler(game).IngestLog(seed, log); err != nil {
+	p := s.profiler(game)
+	before := p.ProfileLen()
+	if err := p.IngestLog(seed, log); err != nil {
 		http.Error(w, "replay: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	fmt.Fprintf(w, "ok records=%d\n", s.profiler(game).ProfileLen())
+	after := p.ProfileLen()
+	s.met.uploads.Inc()
+	s.met.records.Add(int64(after - before))
+	fmt.Fprintf(w, "ok records=%d\n", after)
 }
 
 func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
-	game := r.URL.Query().Get("game")
+	game, ok := gameParam(w, r)
+	if !ok {
+		return
+	}
 	up, err := s.profiler(game).Rebuild()
 	if err != nil {
+		s.met.rebuildFails.Inc()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	s.met.rebuilds.Inc()
+	s.reg.Gauge(`snip_cloud_table_version{game="`+game+`"}`,
+		"latest table version built per game").Set(int64(up.Version))
+	if s.log != nil {
+		s.log.Info("rebuild", "game", game, "version", up.Version,
+			"rows", up.Table.Rows(), "coverage", up.Metrics.Coverage)
 	}
 	fmt.Fprintf(w, "ok version=%d rows=%d size=%v\n", up.Version, up.Table.Rows(), up.Table.Size())
 }
 
 func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
-	game := r.URL.Query().Get("game")
+	game, ok := gameParam(w, r)
+	if !ok {
+		return
+	}
 	up := s.profiler(game).Latest()
 	if up == nil {
 		http.Error(w, "no table built yet", http.StatusNotFound)
@@ -102,10 +230,14 @@ func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Snip-Version", strconv.Itoa(up.Version))
 	_, _ = w.Write(buf.Bytes())
+	s.met.tablesServed.Inc()
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
-	game := r.URL.Query().Get("game")
+	game, ok := gameParam(w, r)
+	if !ok {
+		return
+	}
 	p := s.profiler(game)
 	fmt.Fprintf(w, "game=%s records=%d", game, p.ProfileLen())
 	if up := p.Latest(); up != nil {
@@ -113,6 +245,11 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 			up.Version, up.Table.Rows(), up.Table.Size(), 100*up.Metrics.Coverage)
 	}
 	fmt.Fprintln(w)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 // wireUpdate mirrors TableUpdate with the table in wire form.
@@ -145,6 +282,11 @@ func DecodeUpdate(r io.Reader) (*TableUpdate, error) {
 	}, nil
 }
 
+// DefaultClientTimeout bounds every request made by a NewClient-built
+// client; table rebuilds dominate, and even large profiles finish well
+// inside it.
+const DefaultClientTimeout = 30 * time.Second
+
 // Client is the device-side counterpart: upload logs, request rebuilds,
 // fetch tables.
 type Client struct {
@@ -153,9 +295,19 @@ type Client struct {
 }
 
 // NewClient builds a client for the given base URL (e.g.
-// "http://127.0.0.1:8370").
+// "http://127.0.0.1:8370"). The underlying HTTP client carries
+// DefaultClientTimeout; replace c.HTTP to tune it.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: DefaultClientTimeout}}
+}
+
+// endpoint assembles BaseURL + path + escaped query parameters.
+func (c *Client) endpoint(path string, q url.Values) string {
+	u := c.BaseURL + path
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	return u
 }
 
 // Upload sends an events-only log for a session seed.
@@ -164,8 +316,10 @@ func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
 	if err := trace.EncodeEventsOnly(&buf, log); err != nil {
 		return err
 	}
-	url := fmt.Sprintf("%s/v1/upload?game=%s&seed=%d", c.BaseURL, game, seed)
-	resp, err := c.HTTP.Post(url, "application/octet-stream", &buf)
+	u := c.endpoint("/v1/upload", url.Values{
+		"game": {game}, "seed": {strconv.FormatUint(seed, 10)},
+	})
+	resp, err := c.HTTP.Post(u, "application/octet-stream", &buf)
 	if err != nil {
 		return err
 	}
@@ -175,8 +329,8 @@ func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
 
 // Rebuild asks the cloud to retrain and build a fresh table.
 func (c *Client) Rebuild(game string) error {
-	url := fmt.Sprintf("%s/v1/rebuild?game=%s", c.BaseURL, game)
-	resp, err := c.HTTP.Post(url, "text/plain", nil)
+	u := c.endpoint("/v1/rebuild", url.Values{"game": {game}})
+	resp, err := c.HTTP.Post(u, "text/plain", nil)
 	if err != nil {
 		return err
 	}
@@ -186,8 +340,8 @@ func (c *Client) Rebuild(game string) error {
 
 // FetchTable downloads the latest OTA table.
 func (c *Client) FetchTable(game string) (*TableUpdate, error) {
-	url := fmt.Sprintf("%s/v1/table?game=%s", c.BaseURL, game)
-	resp, err := c.HTTP.Get(url)
+	u := c.endpoint("/v1/table", url.Values{"game": {game}})
+	resp, err := c.HTTP.Get(u)
 	if err != nil {
 		return nil, err
 	}

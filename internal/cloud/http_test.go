@@ -1,0 +1,194 @@
+package cloud
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"snip/internal/pfi"
+)
+
+func testServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := NewService(pfi.DefaultConfig())
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func post(t *testing.T, url string, body io.Reader) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(b)
+}
+
+// TestMissingGameParam pins the shared validation: every game-keyed
+// endpoint answers 400 with the same message when ?game= is absent.
+func TestMissingGameParam(t *testing.T) {
+	_, srv := testServer(t)
+	cases := []struct{ method, path string }{
+		{"POST", "/v1/upload"},
+		{"POST", "/v1/rebuild"},
+		{"GET", "/v1/table"},
+		{"GET", "/v1/status"},
+	}
+	for _, c := range cases {
+		var resp *http.Response
+		var body string
+		if c.method == "GET" {
+			resp, body = get(t, srv.URL+c.path)
+		} else {
+			resp, body = post(t, srv.URL+c.path, nil)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s without game: status %d, want 400", c.method, c.path, resp.StatusCode)
+		}
+		if !strings.Contains(body, "missing game") {
+			t.Errorf("%s %s: body %q, want the shared missing-game message", c.method, c.path, body)
+		}
+	}
+}
+
+func TestUploadBadSeed(t *testing.T) {
+	_, srv := testServer(t)
+	resp, body := post(t, srv.URL+"/v1/upload?game=Colorphun&seed=banana", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(body, "bad seed") {
+		t.Fatalf("body %q, want a bad-seed message", body)
+	}
+}
+
+func TestUploadCorruptBody(t *testing.T) {
+	_, srv := testServer(t)
+	resp, body := post(t, srv.URL+"/v1/upload?game=Colorphun&seed=1",
+		bytes.NewReader([]byte("this is not a gob stream")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(body, "bad log") {
+		t.Fatalf("body %q, want a bad-log message", body)
+	}
+}
+
+func TestTableBeforeRebuild(t *testing.T) {
+	_, srv := testServer(t)
+	resp, body := get(t, srv.URL+"/v1/table?game=Colorphun")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(body, "no table") {
+		t.Fatalf("body %q, want a no-table message", body)
+	}
+}
+
+// TestMetricsEndpoint drives real traffic through the service and then
+// checks the exposition: request counters per endpoint, error counters
+// for the 4xx paths, and business counters for uploads and rebuilds.
+func TestMetricsEndpoint(t *testing.T) {
+	svc, srv := testServer(t)
+	client := NewClient(srv.URL)
+
+	dev := record(t, "Colorphun", 0xA1)
+	if err := client.Upload("Colorphun", 0xA1, dev.EventLog); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Rebuild("Colorphun"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.FetchTable("Colorphun"); err != nil {
+		t.Fatal(err)
+	}
+	// One deliberate error: missing game on status.
+	if resp, _ := get(t, srv.URL+"/v1/status"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status without game: %d", resp.StatusCode)
+	}
+
+	resp, body := get(t, srv.URL+"/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		`snip_cloud_requests_total{endpoint="upload"} 1`,
+		`snip_cloud_requests_total{endpoint="rebuild"} 1`,
+		`snip_cloud_requests_total{endpoint="table"} 1`,
+		`snip_cloud_request_errors_total{endpoint="status"} 1`,
+		"snip_cloud_uploads_total 1",
+		"snip_cloud_rebuilds_total 1",
+		"snip_cloud_tables_served_total 1",
+		`snip_cloud_table_version{game="Colorphun"} 1`,
+		// Rebuild-time PFI search surfaces in the same exposition.
+		"snip_pfi_types_total",
+		`snip_cloud_request_ns_count{endpoint="upload"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The snapshot agrees with what the handlers counted.
+	snap := svc.Metrics().Snapshot()
+	if snap.Counters["snip_cloud_uploads_total"] != 1 {
+		t.Errorf("snapshot uploads %d, want 1", snap.Counters["snip_cloud_uploads_total"])
+	}
+	if snap.Counters["snip_cloud_records_total"] == 0 {
+		t.Error("no records counted for the ingested upload")
+	}
+}
+
+// TestClientURLEscaping pins the url.Values construction: a game name
+// with reserved characters must arrive intact, not mangled into extra
+// parameters.
+func TestClientURLEscaping(t *testing.T) {
+	var seenGame string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenGame = r.URL.Query().Get("game")
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	weird := "a game&x=1?y#z"
+	if err := client.Rebuild(weird); err != nil {
+		t.Fatal(err)
+	}
+	if seenGame != weird {
+		t.Fatalf("server saw game %q, want %q", seenGame, weird)
+	}
+	if _, err := url.ParseRequestURI(client.endpoint("/v1/rebuild", url.Values{"game": {weird}})); err != nil {
+		t.Fatalf("endpoint builds an invalid URL: %v", err)
+	}
+}
+
+// TestClientTimeoutConfigured pins the default-client hardening.
+func TestClientTimeoutConfigured(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0")
+	if c.HTTP == http.DefaultClient {
+		t.Fatal("client uses http.DefaultClient (no timeout)")
+	}
+	if c.HTTP.Timeout != DefaultClientTimeout {
+		t.Fatalf("timeout %v, want %v", c.HTTP.Timeout, DefaultClientTimeout)
+	}
+}

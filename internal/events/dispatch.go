@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"snip/internal/energy"
+	"snip/internal/obs"
 	"snip/internal/soc"
 	"snip/internal/units"
 )
@@ -30,10 +31,41 @@ type Dispatcher struct {
 	queue    []*Event
 	handlers [NumTypes]Handler
 	fallback Handler
+	metrics  *DispatchMetrics
 }
 
 // NewDispatcher returns an empty dispatcher.
 func NewDispatcher() *Dispatcher { return &Dispatcher{} }
+
+// DispatchMetrics counts the dispatcher's delivery work: events
+// dispatched per type, events with no registered handler, and the
+// current queue depth. All handles are nil-safe.
+type DispatchMetrics struct {
+	Dispatched [NumTypes]*obs.Counter
+	Unhandled  *obs.Counter
+	QueueDepth *obs.Gauge
+}
+
+// NewDispatchMetrics registers the dispatcher series. A nil registry
+// returns nil, which Instrument accepts as "uninstrumented".
+func NewDispatchMetrics(reg *obs.Registry) *DispatchMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &DispatchMetrics{
+		Unhandled:  reg.Counter("snip_dispatch_unhandled_total", "events with no registered handler"),
+		QueueDepth: reg.Gauge("snip_dispatch_queue_depth", "events awaiting delivery"),
+	}
+	for t := Type(0); int(t) < NumTypes; t++ {
+		m.Dispatched[t] = reg.Counter(
+			`snip_dispatch_events_total{type="`+t.String()+`"}`,
+			"events dispatched to handlers")
+	}
+	return m
+}
+
+// Instrument attaches (or, with nil, detaches) dispatch metrics.
+func (d *Dispatcher) Instrument(m *DispatchMetrics) { d.metrics = m }
 
 // Register installs a handler for one event type.
 func (d *Dispatcher) Register(t Type, h Handler) { d.handlers[t] = h }
@@ -42,7 +74,12 @@ func (d *Dispatcher) Register(t Type, h Handler) { d.handlers[t] = h }
 func (d *Dispatcher) RegisterAll(h Handler) { d.fallback = h }
 
 // Enqueue adds events to the queue.
-func (d *Dispatcher) Enqueue(es ...*Event) { d.queue = append(d.queue, es...) }
+func (d *Dispatcher) Enqueue(es ...*Event) {
+	d.queue = append(d.queue, es...)
+	if d.metrics != nil {
+		d.metrics.QueueDepth.Set(int64(len(d.queue)))
+	}
+}
 
 // Pending returns the number of queued events.
 func (d *Dispatcher) Pending() int { return len(d.queue) }
@@ -58,16 +95,36 @@ func (d *Dispatcher) Sort() {
 }
 
 // Drain delivers every queued event in time order and empties the queue.
+// Metrics are tallied locally and flushed once at the end: the hot loop
+// pays no atomic operations (the instrumentation-overhead budget in
+// EXPERIMENTS.md depends on this).
 func (d *Dispatcher) Drain() {
 	d.Sort()
 	q := d.queue
 	d.queue = nil
+	m := d.metrics
+	var dispatched [NumTypes]int64
+	var unhandled int64
 	for _, e := range q {
-		if h := d.handlers[e.Type]; h != nil {
-			h.HandleEvent(e)
-		} else if d.fallback != nil {
+		switch {
+		case d.handlers[e.Type] != nil:
+			d.handlers[e.Type].HandleEvent(e)
+			dispatched[e.Type]++
+		case d.fallback != nil:
 			d.fallback.HandleEvent(e)
+			dispatched[e.Type]++
+		default:
+			unhandled++
 		}
+	}
+	if m != nil {
+		for t, n := range dispatched {
+			if n > 0 {
+				m.Dispatched[t].Add(n)
+			}
+		}
+		m.Unhandled.Add(unhandled)
+		m.QueueDepth.Set(0)
 	}
 }
 

@@ -23,6 +23,7 @@ func Fig2EnergyBreakdown(cfg Config) (*Fig2Result, error) {
 	runs, err := parallel.Map(cfg.Workers, len(games), func(i int) (*schemes.Result, error) {
 		return schemes.Run(schemes.Config{
 			Game: games[i], Seed: cfg.DeploySeed, Duration: cfg.Duration(), Scheme: schemes.Baseline,
+			Obs: cfg.Obs,
 		})
 	})
 	if err != nil {
@@ -113,7 +114,11 @@ type Fig4Result struct {
 func Fig4UselessEvents(cfg Config) (*Fig4Result, error) {
 	games := GameNames()
 	runs, err := parallel.Map(cfg.Workers, len(games), func(i int) (*schemes.Result, error) {
-		return schemes.Profile(games[i], cfg.DeploySeed, cfg.Duration())
+		return schemes.Run(schemes.Config{
+			Game: games[i], Seed: cfg.DeploySeed, Duration: cfg.Duration(),
+			Scheme: schemes.Baseline, CollectTrace: true, CollectEventLog: true,
+			Obs: cfg.Obs,
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ package experiments
 import (
 	"snip/internal/games"
 	"snip/internal/memo"
+	"snip/internal/obs"
 	"snip/internal/parallel"
 	"snip/internal/pfi"
 	"snip/internal/schemes"
@@ -34,6 +35,10 @@ type Config struct {
 	// the PFI search. <= 0 means parallel.DefaultWorkers(). Every
 	// experiment returns identical results for every worker count.
 	Workers int
+	// Obs, when non-nil, instruments the runners' sessions and PFI
+	// searches. Write-only: every figure is byte-identical with Obs set
+	// or nil (pinned by the determinism regression test).
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the scale used throughout the repository: 45 s
@@ -89,6 +94,9 @@ func (c Config) buildTable(game string) (*memo.SnipTable, *pfi.Result, *trace.Da
 	pfiCfg := c.PFI
 	if pfiCfg.Workers == 0 {
 		pfiCfg.Workers = c.Workers
+	}
+	if pfiCfg.Obs == nil {
+		pfiCfg.Obs = c.Obs
 	}
 	g, err := games.New(game)
 	if err != nil {

@@ -3,6 +3,7 @@ package memo
 import (
 	"testing"
 
+	"snip/internal/obs"
 	"snip/internal/trace"
 )
 
@@ -72,6 +73,22 @@ var sinkE, sinkS uint64
 
 func BenchmarkSnipTableLookupHit(b *testing.B) {
 	t := benchTable(2048)
+	resolve := hitResolver(777)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := t.Lookup("tap", resolve); !ok {
+			b.Fatal("expected hit")
+		}
+	}
+}
+
+// BenchmarkSnipTableLookupHitInstrumented pins the tentpole contract:
+// attaching a live metrics registry to the hot path must not add a
+// single allocation per lookup (ci.sh gates this at 0 allocs/op).
+func BenchmarkSnipTableLookupHitInstrumented(b *testing.B) {
+	t := benchTable(2048)
+	t.SetMetrics(NewTableMetrics(obs.NewRegistry(), "snip"))
 	resolve := hitResolver(777)
 	b.ReportAllocs()
 	b.ResetTimer()

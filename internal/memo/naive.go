@@ -19,6 +19,7 @@ package memo
 
 import (
 	"sort"
+	"time"
 
 	"snip/internal/trace"
 	"snip/internal/units"
@@ -34,6 +35,10 @@ type NaiveTable struct {
 	// insertion order preserved for the coverage curve
 	order []*naiveRow
 }
+
+// The naive table has no runtime deployment — its "lookups" are the
+// build-time probes that decide whether a profiled record recurs, which
+// is exactly the hit/miss question a deployed naive table would answer.
 
 type naiveRow struct {
 	key         uint64
@@ -58,7 +63,12 @@ func (th typeHashes) of(eventType string) uint64 {
 // BuildNaive constructs the naive table from a profile and reports its
 // hit statistics. The key of a record is the hash of ALL its input field
 // values plus the event type (the union record).
-func BuildNaive(d *trace.Dataset) *NaiveTable {
+func BuildNaive(d *trace.Dataset) *NaiveTable { return BuildNaiveObserved(d, nil) }
+
+// BuildNaiveObserved is BuildNaive with observability: each record's
+// probe counts as a lookup (hit when the union key recurred), and probe
+// latency feeds the lookup histogram. m may be nil.
+func BuildNaiveObserved(d *trace.Dataset, m *TableMetrics) *NaiveTable {
 	t := &NaiveTable{
 		inWidth:  d.UnionInputWidth(),
 		outWidth: d.UnionOutputWidth(),
@@ -66,6 +76,10 @@ func BuildNaive(d *trace.Dataset) *NaiveTable {
 	}
 	th := typeHashes{}
 	for _, r := range d.Records {
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		// The union record spans every input location the app has — two
 		// executions share a row only when the whole state AND the event
 		// object match byte for byte.
@@ -74,11 +88,18 @@ func BuildNaive(d *trace.Dataset) *NaiveTable {
 		if row, ok := t.rows[key]; ok {
 			row.repeats++
 			row.repeatInstr += r.Instr
+			if m != nil {
+				m.observe(true, time.Since(start).Nanoseconds())
+			}
 			continue
 		}
 		row := &naiveRow{key: key}
 		t.rows[key] = row
 		t.order = append(t.order, row)
+		if m != nil {
+			m.observe(false, time.Since(start).Nanoseconds())
+			m.Inserts.Inc()
+		}
 	}
 	return t
 }

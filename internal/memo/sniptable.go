@@ -3,6 +3,7 @@ package memo
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"snip/internal/trace"
 	"snip/internal/units"
@@ -179,6 +180,11 @@ type SnipTable struct {
 	comparedBytes  int64 // Σ probes × state width (Fig. 11c)
 	probes         int64
 	conflictedRows int64
+
+	// metrics, when attached, receives hit/miss counters and the
+	// wall-clock lookup-latency histogram. Nil means uninstrumented; the
+	// lookup path then pays exactly one pointer check.
+	metrics *TableMetrics
 }
 
 // BuildSnip constructs the table from a profile under a selection.
@@ -209,6 +215,11 @@ func (t *SnipTable) cacheWidths() {
 // Selection returns the table's field selection.
 func (t *SnipTable) Selection() Selection { return t.sel }
 
+// SetMetrics attaches (or, with nil, detaches) observability counters.
+// Attach before the table is shared across goroutines: the field itself
+// is not synchronized, only the counters behind it are.
+func (t *SnipTable) SetMetrics(m *TableMetrics) { t.metrics = m }
+
 // Insert adds one profiled record. Records whose keys collide with a
 // different output record keep the first-profiled outputs; the conflict
 // count predicts the runtime error rate when PFI under-selects.
@@ -227,12 +238,18 @@ func (t *SnipTable) Insert(r *trace.Record) {
 	if e, ok := b.ByKey[sk]; ok {
 		if !sameOutputs(e.Outputs, r.Outputs) {
 			t.conflictedRows++
+			if t.metrics != nil {
+				t.metrics.Conflicts.Inc()
+			}
 		}
 		return
 	}
 	e := &SnipEntry{StateKey: sk, Outputs: r.Outputs, Instr: r.Instr}
 	b.ByKey[sk] = e
 	b.Order = append(b.Order, e)
+	if t.metrics != nil {
+		t.metrics.Inserts.Inc()
+	}
 }
 
 func sameOutputs(a, b []trace.Field) bool {
@@ -252,6 +269,17 @@ func sameOutputs(a, b []trace.Field) bool {
 // entries were compared (probes) and the total necessary-input bytes
 // loaded and compared (probes × per-entry state width).
 func (t *SnipTable) Lookup(eventType string, resolve Resolver) (entry *SnipEntry, probes int64, comparedBytes units.Size, ok bool) {
+	if t.metrics == nil {
+		return t.lookup(eventType, resolve)
+	}
+	start := time.Now()
+	entry, probes, comparedBytes, ok = t.lookup(eventType, resolve)
+	t.metrics.observe(ok, time.Since(start).Nanoseconds())
+	return entry, probes, comparedBytes, ok
+}
+
+// lookup is the uninstrumented probe Lookup wraps.
+func (t *SnipTable) lookup(eventType string, resolve Resolver) (entry *SnipEntry, probes int64, comparedBytes units.Size, ok bool) {
 	t.lookups++
 	byEvent := t.buckets[eventType]
 	width := t.stateWidth[eventType]

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Chain records the span-like life of one delivered event: dispatch →
+// memo probe (hit/miss plus measured lookup latency) → handler execution
+// → IP invocations → energy charged. It is a flat value struct so that
+// instrumented code can assemble it on the stack and hand it to a Tracer
+// without allocating.
+//
+// Simulated quantities (Seq, TimeUS, Probes, HandlerInstr, Energy) are
+// deterministic; LookupNS is wall-clock and varies run to run — it lives
+// only in the trace, never in figures.
+type Chain struct {
+	Game      string `json:"game"`
+	Scheme    string `json:"scheme"`
+	EventType string `json:"event_type"`
+	Seq       int64  `json:"seq"`
+	TimeUS    int64  `json:"time_us"` // simulated event time
+
+	// Memo probe (SNIP schemes only).
+	Probed        bool  `json:"probed"`
+	Hit           bool  `json:"hit"`
+	Probes        int64 `json:"probes,omitempty"`
+	ComparedBytes int64 `json:"compared_bytes,omitempty"`
+	LookupNS      int64 `json:"lookup_ns,omitempty"` // wall clock, non-deterministic
+
+	// Handler execution (events that were not short-circuited).
+	Executed     bool  `json:"executed"`
+	HandlerInstr int64 `json:"handler_instr,omitempty"`
+	IPCalls      int   `json:"ip_calls,omitempty"`
+
+	ShortCircuited  bool  `json:"short_circuited"`
+	ShadowChecked   bool  `json:"shadow_checked,omitempty"`
+	ShadowErrFields int64 `json:"shadow_err_fields,omitempty"`
+
+	// Energy charged to the meter while this event was delivered and
+	// handled, in the meter's native units.
+	Energy int64 `json:"energy,omitempty"`
+}
+
+// Tracer retains the most recent chains in a fixed-capacity ring buffer.
+// Recording under the mutex is a struct copy into pre-allocated storage;
+// once the ring wraps, the oldest chain is overwritten. A nil *Tracer is
+// a valid no-op, mirroring the nil-registry contract.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Chain
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultTracerCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTracerCapacity = 4096
+
+// NewTracer returns a tracer retaining up to capacity chains
+// (DefaultTracerCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{ring: make([]Chain, capacity)}
+}
+
+// Record stores one chain, overwriting the oldest when full.
+func (t *Tracer) Record(c Chain) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = c
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns how many chains are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Total returns how many chains were ever recorded, including those the
+// ring has since overwritten.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Chains returns the retained chains oldest-first.
+func (t *Tracer) Chains() []Chain {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Chain(nil), t.ring[:t.next]...)
+	}
+	out := make([]Chain, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// WriteJSON writes the retained chains as an indented JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(t.Chains(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// EncodeGob writes the retained chains as a gob stream.
+func (t *Tracer) EncodeGob(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t.Chains())
+}
+
+// DecodeGobChains reads a chain slice written by EncodeGob.
+func DecodeGobChains(r io.Reader) ([]Chain, error) {
+	var out []Chain
+	if err := gob.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("obs: decode chains: %w", err)
+	}
+	return out, nil
+}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // EnvWorkers is the environment variable that overrides the default
@@ -67,9 +68,20 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	results := make([]T, n)
 	workers = Normalize(workers, n)
+	m := metrics.Load()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			var start time.Time
+			if m != nil {
+				m.queued.Set(int64(n - i - 1))
+				m.inFlight.Set(1)
+				start = time.Now()
+			}
 			r, err := fn(i)
+			if m != nil {
+				m.observeTask(start, err)
+				m.inFlight.Set(0)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -90,7 +102,17 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				var start time.Time
+				if m != nil {
+					m.queued.Set(max(int64(n)-next.Load(), 0))
+					m.inFlight.Add(1)
+					start = time.Now()
+				}
 				results[i], errs[i] = fn(i)
+				if m != nil {
+					m.observeTask(start, errs[i])
+					m.inFlight.Add(-1)
+				}
 			}
 		}()
 	}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"snip/internal/memo"
+	"snip/internal/obs"
 	"snip/internal/parallel"
 	"snip/internal/rng"
 	"snip/internal/trace"
@@ -58,6 +59,36 @@ type Config struct {
 	// field owns a pre-Split rng.Source, so the shuffle streams do not
 	// depend on scheduling.
 	Workers int
+	// Obs, when non-nil, receives search-progress counters (types
+	// searched, fields scored, drops attempted/accepted). Write-only:
+	// the Result is identical with Obs set or nil.
+	Obs *obs.Registry
+
+	metrics *searchMetrics
+}
+
+// searchMetrics counts PFI search progress. All handles are nil-safe.
+type searchMetrics struct {
+	types         *obs.Counter
+	fields        *obs.Counter
+	permutations  *obs.Counter
+	dropsTried    *obs.Counter
+	dropsAccepted *obs.Counter
+	selectedBytes *obs.Gauge
+}
+
+func newSearchMetrics(reg *obs.Registry) *searchMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &searchMetrics{
+		types:         reg.Counter("snip_pfi_types_total", "event types searched"),
+		fields:        reg.Counter("snip_pfi_fields_evaluated_total", "input fields scored for permutation importance"),
+		permutations:  reg.Counter("snip_pfi_permutations_total", "column shuffles evaluated"),
+		dropsTried:    reg.Counter("snip_pfi_drops_attempted_total", "backward-elimination drops attempted"),
+		dropsAccepted: reg.Counter("snip_pfi_drops_accepted_total", "drops that kept errors within bounds"),
+		selectedBytes: reg.Gauge("snip_pfi_selected_bytes", "total width of the current selection"),
+	}
 }
 
 // DefaultConfig returns the standard tuning.
@@ -145,6 +176,7 @@ func Run(d *trace.Dataset, cfg Config) (*Result, error) {
 		cfg.Permutations = 1
 	}
 	r := rng.New(cfg.Seed)
+	cfg.metrics = newSearchMetrics(cfg.Obs)
 	res := &Result{Selection: memo.Selection{}}
 	res.InputBytesTotal = d.UnionInputWidth()
 
@@ -182,6 +214,9 @@ func Run(d *trace.Dataset, cfg Config) (*Result, error) {
 	res.Selection.Canonicalize()
 	res.SelectedBytes = res.Selection.TotalWidth()
 	res.Final = Evaluate(d, res.Selection, cfg.TrainFrac)
+	if m := cfg.metrics; m != nil {
+		m.selectedBytes.Set(int64(res.SelectedBytes))
+	}
 	return res, nil
 }
 
@@ -364,6 +399,9 @@ func evalModel(m *model, valid []*trace.Record, override map[int]map[string]uint
 // selectForType runs importance ranking and backward elimination for one
 // event type.
 func selectForType(td *typeData, cfg Config, r *rng.Source) ([]memo.SelectedField, []FieldImportance, []TrimPoint) {
+	if m := cfg.metrics; m != nil {
+		m.types.Inc()
+	}
 	names := make([]string, len(td.fields))
 	metaByName := make(map[string]fieldMeta, len(td.fields))
 	for i, f := range td.fields {
@@ -406,6 +444,12 @@ func selectForType(td *typeData, cfg Config, r *rng.Source) ([]memo.SelectedFiel
 			}
 			perm := evalModel(full, td.valid, override).metrics()
 			total += score(perm) - score(base)
+			if m := cfg.metrics; m != nil {
+				m.permutations.Inc()
+			}
+		}
+		if m := cfg.metrics; m != nil {
+			m.fields.Inc()
 		}
 		meta := metaByName[name]
 		return FieldImportance{
@@ -453,6 +497,12 @@ func selectForType(td *typeData, cfg Config, r *rng.Source) ([]memo.SelectedFiel
 		ok := m.NonTempError <= cfg.MaxNonTempError && m.TempError <= cfg.MaxTempError
 		if cfg.ForceExclude[cand.Name] {
 			ok = true
+		}
+		if sm := cfg.metrics; sm != nil {
+			sm.dropsTried.Inc()
+			if ok {
+				sm.dropsAccepted.Inc()
+			}
 		}
 		curve = append(curve, TrimPoint{
 			SelectedBytes: widthOf(), NonTempError: m.NonTempError, TempError: m.TempError,

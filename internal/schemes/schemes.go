@@ -19,11 +19,13 @@ package schemes
 
 import (
 	"fmt"
+	"time"
 
 	"snip/internal/energy"
 	"snip/internal/events"
 	"snip/internal/games"
 	"snip/internal/memo"
+	"snip/internal/obs"
 	"snip/internal/soc"
 	"snip/internal/trace"
 	"snip/internal/units"
@@ -88,6 +90,54 @@ type Config struct {
 	PowerModel *energy.PowerModel
 	// SoC overrides the default SoC performance config.
 	SoC soc.Config
+	// Obs, when non-nil, receives runtime counters: events delivered by
+	// type, executed vs. short-circuited, shadow-check errors. Strictly
+	// write-only — a Result is byte-identical with Obs set or nil
+	// (pinned by the determinism regression tests).
+	Obs *obs.Registry
+	// Tracer, when non-nil, records one obs.Chain per delivered event:
+	// dispatch → memo probe → handler execution → energy charged.
+	Tracer *obs.Tracer
+}
+
+// sessionMetrics tallies one session's counts in plain fields — the
+// per-event path pays no atomic operations — and flushes them to the
+// registry once at session end (the instrumentation-overhead budget in
+// EXPERIMENTS.md depends on this batching).
+type sessionMetrics struct {
+	reg *obs.Registry
+
+	delivered      [events.NumTypes]int64
+	executed       int64
+	shortCircuited int64
+	useless        int64
+	shadowChecks   int64
+	shadowErrors   int64
+}
+
+func newSessionMetrics(reg *obs.Registry) *sessionMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &sessionMetrics{reg: reg}
+}
+
+func (m *sessionMetrics) flush() {
+	if m == nil {
+		return
+	}
+	reg := m.reg
+	for t := events.Type(0); int(t) < events.NumTypes; t++ {
+		if m.delivered[t] > 0 {
+			reg.Counter(`snip_events_delivered_total{type="`+t.String()+`"}`,
+				"events delivered to the game").Add(m.delivered[t])
+		}
+	}
+	reg.Counter("snip_events_executed_total", "events whose handler ran in full").Add(m.executed)
+	reg.Counter("snip_events_short_circuited_total", "events served from the SNIP table").Add(m.shortCircuited)
+	reg.Counter("snip_events_useless_total", "baseline events that changed no state").Add(m.useless)
+	reg.Counter("snip_shadow_checks_total", "short-circuits verified against ground truth").Add(m.shadowChecks)
+	reg.Counter("snip_shadow_error_fields_total", "erroneous output fields caught by shadow execution").Add(m.shadowErrors)
 }
 
 // ErrorStats counts short-circuit prediction errors by output category.
@@ -204,11 +254,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	chip := soc.New(socCfg, meter, policy)
 
-	handled := make(map[events.Type]bool)
-	for _, t := range game.Types() {
-		handled[t] = true
-	}
-
 	res := &Result{Game: cfg.Game, Scheme: cfg.Scheme, Meter: meter}
 	if cfg.CollectTrace {
 		res.Dataset = &trace.Dataset{Game: cfg.Game}
@@ -222,11 +267,24 @@ func Run(cfg Config) (*Result, error) {
 	ipLast := make(map[energy.Component]uint64) // Max IP: last invocation latch per IP
 
 	dispatcher := events.NewDispatcher()
+	dispatcher.Instrument(events.NewDispatchMetrics(cfg.Obs))
 	dispatcher.Enqueue(evs...)
 	dispatcher.Sort()
 
+	met := newSessionMetrics(cfg.Obs)
+	tracing := cfg.Tracer != nil
+
 	deliver := func(e *events.Event) {
 		chip.AdvanceTo(e.Time)
+		var chain obs.Chain
+		var chainBefore units.Energy
+		if tracing {
+			chain = obs.Chain{
+				Game: cfg.Game, Scheme: cfg.Scheme.String(),
+				EventType: e.Type.String(), Seq: e.Seq, TimeUS: int64(e.Time),
+			}
+			chainBefore = meter.Total()
+		}
 		// The OS delivery path runs for every event under every scheme.
 		chip.Execute(events.DeliveryCost(e))
 		if cfg.CollectEventLog {
@@ -236,6 +294,9 @@ func Run(cfg Config) (*Result, error) {
 			})
 		}
 		res.Events++
+		if met != nil {
+			met.delivered[e.Type]++
+		}
 
 		switch cfg.Scheme {
 		case Baseline:
@@ -248,9 +309,20 @@ func Run(cfg Config) (*Result, error) {
 				res.UselessEvents++
 				res.UselessEnergy += delta
 				meter.Tag("useless", delta)
+				if met != nil {
+					met.useless++
+				}
 			}
 			if cfg.CollectTrace {
 				res.Dataset.Append(exec.Record)
+			}
+			if met != nil {
+				met.executed++
+			}
+			if tracing {
+				chain.Executed = true
+				chain.HandlerInstr = exec.Record.Instr
+				chain.IPCalls = len(exec.IPCalls)
 			}
 
 		case MaxCPU:
@@ -262,6 +334,14 @@ func Run(cfg Config) (*Result, error) {
 			res.SnippedWeight += skipped
 			if skipped > 0 {
 				res.SnippedEvents++
+			}
+			if met != nil {
+				met.executed++
+			}
+			if tracing {
+				chain.Executed = true
+				chain.HandlerInstr = exec.Record.Instr
+				chain.IPCalls = len(exec.IPCalls)
 			}
 
 		case MaxIP:
@@ -285,6 +365,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 			chip.Execute(w)
 			res.TotalWeight += exec.Record.Instr
+			if met != nil {
+				met.executed++
+			}
+			if tracing {
+				chain.Executed = true
+				chain.HandlerInstr = exec.Record.Instr
+				chain.IPCalls = len(w.IPCalls)
+			}
 
 		case SNIP, NoOverheads:
 			resolver := func(name string) (uint64, bool) {
@@ -293,39 +381,78 @@ func Run(cfg Config) (*Result, error) {
 				}
 				return resolveEventField(e, name)
 			}
+			var probeStart time.Time
+			if tracing {
+				probeStart = time.Now()
+			}
 			entry, probes, cmpBytes, hit := cfg.Table.Lookup(e.Type.String(), resolver)
+			if tracing {
+				chain.Probed = true
+				chain.Hit = hit
+				chain.Probes = probes
+				chain.ComparedBytes = int64(cmpBytes)
+				chain.LookupNS = time.Since(probeStart).Nanoseconds()
+			}
 			if cfg.Scheme == SNIP {
 				res.LookupEnergy += chip.LookupOverhead(probes, cmpBytes)
 				res.ComparedBytes += int64(cmpBytes)
 			}
 			if hit {
 				res.SnippedEvents++
+				if met != nil {
+					met.shortCircuited++
+				}
 				weight := entry.Instr
 				if cfg.EvalCorrectness {
 					shadow := game.Clone()
 					truth := shadow.Process(e).Record
 					weight = truth.Instr
 					res.Errors.ShadowedEvents++
+					errBefore := res.Errors.ErrFields()
 					countErrors(&res.Errors, entry.Outputs, truth.Outputs)
+					if met != nil {
+						met.shadowChecks++
+						met.shadowErrors += res.Errors.ErrFields() - errBefore
+					}
+					if tracing {
+						chain.ShadowChecked = true
+						chain.ShadowErrFields = res.Errors.ErrFields() - errBefore
+					}
 				}
 				res.SnippedWeight += weight
 				res.TotalWeight += weight
 				game.ApplyOutputs(entry.Outputs)
+				if tracing {
+					chain.ShortCircuited = true
+					chain.HandlerInstr = weight
+				}
 			} else {
 				exec := game.Process(e)
 				chip.Execute(exec.Work())
 				res.TotalWeight += exec.Record.Instr
+				if met != nil {
+					met.executed++
+				}
+				if tracing {
+					chain.Executed = true
+					chain.HandlerInstr = exec.Record.Instr
+					chain.IPCalls = len(exec.IPCalls)
+				}
 			}
+		}
+
+		if tracing {
+			chain.Energy = int64(meter.Total() - chainBefore)
+			cfg.Tracer.Record(chain)
 		}
 	}
 
-	for _, e := range evs {
-		if !handled[e.Type] {
-			continue // the game registered no listener; never delivered
-		}
-		deliver(e)
+	for _, t := range game.Types() {
+		dispatcher.Register(t, events.HandlerFunc(deliver))
 	}
+	dispatcher.Drain()
 	chip.AdvanceTo(stream.End())
+	met.flush()
 
 	res.Elapsed = chip.Now()
 	res.Energy = meter.Total()

@@ -1,0 +1,183 @@
+package snip_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"snip"
+	"snip/internal/experiments"
+	"snip/internal/obs"
+)
+
+// TestMetricsDoNotPerturbSessions is the tentpole's determinism
+// contract: attaching a Metrics (registry + tracer) to a session must
+// leave the Report byte-identical, for every scheme. Instrumentation is
+// write-only from the simulation's point of view.
+func TestMetricsDoNotPerturbSessions(t *testing.T) {
+	profile, err := snip.Profile("Colorphun", snip.ProfileOptions{Sessions: 2, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _, err := snip.BuildTable(profile, snip.DefaultPFIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range snip.Schemes() {
+		opts := snip.Options{
+			Game: "Colorphun", Duration: testDur, Scheme: scheme,
+			CheckCorrectness: true,
+		}
+		if scheme == snip.SchemeSNIP || scheme == snip.SchemeNoOverheads {
+			opts.Table = table
+		}
+		bare, err := snip.Play(opts)
+		if err != nil {
+			t.Fatalf("%s bare: %v", scheme, err)
+		}
+		met := snip.NewMetrics()
+		if opts.Table != nil {
+			opts.Table.Instrument(met)
+		}
+		opts.Metrics = met
+		instrumented, err := snip.Play(opts)
+		if opts.Table != nil {
+			opts.Table.Instrument(nil)
+		}
+		if err != nil {
+			t.Fatalf("%s instrumented: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(bare, instrumented) {
+			t.Errorf("%s: instrumented report differs\n bare:         %+v\n instrumented: %+v",
+				scheme, bare, instrumented)
+		}
+		if len(met.Chains()) == 0 {
+			t.Errorf("%s: tracer recorded no chains", scheme)
+		}
+	}
+}
+
+// TestMetricsDoNotPerturbFigures pins the figure runners: Fig2 and Fig4
+// (the cross-cutting characterization paths) must return deep-equal
+// results with Config.Obs set or nil.
+func TestMetricsDoNotPerturbFigures(t *testing.T) {
+	base := experiments.DefaultConfig()
+	base.SessionSeconds = 10
+	base.ProfileSessions = 2
+
+	bareCfg, obsCfg := base, base
+	obsCfg.Obs = obs.NewRegistry()
+
+	f2bare, err := experiments.Fig2EnergyBreakdown(bareCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2obs, err := experiments.Fig2EnergyBreakdown(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f2bare, f2obs) {
+		t.Error("Fig2 differs with Obs attached")
+	}
+
+	f4bare, err := experiments.Fig4UselessEvents(bareCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4obs, err := experiments.Fig4UselessEvents(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f4bare, f4obs) {
+		t.Error("Fig4 differs with Obs attached")
+	}
+
+	var sb strings.Builder
+	if err := obsCfg.Obs.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"snip_events_delivered_total", "snip_events_executed_total",
+		"snip_dispatch_events_total", "snip_events_useless_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("figure-run exposition missing %s", want)
+		}
+	}
+}
+
+// TestMetricsAgreeWithReport cross-checks the counters against the
+// Report quantities they mirror on an instrumented SNIP session.
+func TestMetricsAgreeWithReport(t *testing.T) {
+	profile, err := snip.Profile("Greenwall", snip.ProfileOptions{Sessions: 2, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _, err := snip.BuildTable(profile, snip.DefaultPFIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := snip.NewMetrics()
+	table.Instrument(met)
+	defer table.Instrument(nil)
+	rep, err := snip.Play(snip.Options{
+		Game: "Greenwall", Duration: testDur, Scheme: snip.SchemeSNIP,
+		Table: table, CheckCorrectness: true, Metrics: met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counters := met.Registry().Snapshot().Counters
+	sum := func(prefix string) int64 {
+		var total int64
+		for series, v := range counters {
+			if strings.HasPrefix(series, prefix) {
+				total += v
+			}
+		}
+		return total
+	}
+
+	if got := sum("snip_events_delivered_total"); got != int64(rep.Events) {
+		t.Errorf("delivered counters %d, report says %d events", got, rep.Events)
+	}
+	if got := counters["snip_events_short_circuited_total"]; got != int64(rep.ShortCircuited) {
+		t.Errorf("short-circuited counter %d, report says %d", got, rep.ShortCircuited)
+	}
+	if got := counters["snip_shadow_checks_total"]; got != int64(rep.ShortCircuited) {
+		t.Errorf("shadow checks %d, want every short-circuit checked (%d)", got, rep.ShortCircuited)
+	}
+	wantErrs := rep.ErrorFields.Temp + rep.ErrorFields.History + rep.ErrorFields.Extern
+	if got := counters["snip_shadow_error_fields_total"]; got != wantErrs {
+		t.Errorf("shadow error fields %d, report says %d", got, wantErrs)
+	}
+	if got := sum("snip_memo_lookups_total"); got != int64(rep.Events) {
+		t.Errorf("memo lookups %d, want one per delivered event (%d)", got, rep.Events)
+	}
+	executed := counters["snip_events_executed_total"]
+	if executed+int64(rep.ShortCircuited) != int64(rep.Events) {
+		t.Errorf("executed (%d) + short-circuited (%d) != delivered (%d)",
+			executed, rep.ShortCircuited, rep.Events)
+	}
+
+	chains := met.Chains()
+	if len(chains) == 0 {
+		t.Fatal("no chains recorded")
+	}
+	var snipped int
+	for _, c := range chains {
+		if !c.Probed {
+			t.Fatalf("SNIP chain without a probe: %+v", c)
+		}
+		if c.ShortCircuited {
+			snipped++
+			if !c.ShadowChecked {
+				t.Fatalf("short-circuited chain missing shadow check: %+v", c)
+			}
+		}
+	}
+	if met.Tracer().Total() == int64(len(chains)) && snipped != rep.ShortCircuited {
+		t.Errorf("chains record %d short-circuits, report says %d", snipped, rep.ShortCircuited)
+	}
+}
