@@ -27,8 +27,17 @@ go test ./...
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./internal/cloud ./internal/obs .
 
+echo "== go test -race (fleet serving: shared table + device fleet)"
+go test -race ./internal/fleet ./internal/memo
+
+echo "== fleet bench smoke (short run, then schema validation)"
+go run ./cmd/fleetbench -devices 1,2 -sessions 1 -secs 5 -profile-sessions 2 \
+	-out /tmp/snip_bench_fleet_smoke.json
+go run ./cmd/fleetbench -validate /tmp/snip_bench_fleet_smoke.json
+rm -f /tmp/snip_bench_fleet_smoke.json
+
 echo "== allocation gate (memo lookup + metrics hot paths must stay 0 allocs/op)"
-alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|CounterInc|GaugeSet|HistogramObserve|TracerRecord' \
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|SharedLookupParallel|CounterInc|GaugeSet|HistogramObserve|TracerRecord' \
 	-benchmem -benchtime 1000x ./internal/memo ./internal/obs)
 echo "$alloc_out"
 bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')

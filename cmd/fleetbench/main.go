@@ -1,0 +1,185 @@
+// Command fleetbench is the reproducible fleet-serving load harness: it
+// trains a SNIP table, spins up an in-process cloud profiler, then runs
+// the device fleet at each requested concurrency, measuring fleet-wide
+// lookups/sec, p50/p99 probe latency, batched-upload wire bytes and the
+// live OTA swap. Results go to a JSON bench file.
+//
+// Usage:
+//
+//	fleetbench -game Colorphun -devices 1,2,4,8 -out BENCH_fleet.json
+//	fleetbench -validate BENCH_fleet.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"snip"
+)
+
+// benchFile is the BENCH_fleet.json schema. The ci.sh smoke gate runs a
+// short bench and then -validate, which checks exactly these fields.
+type benchFile struct {
+	Bench             string              `json:"bench"` // always "fleet"
+	Game              string              `json:"game"`
+	SessionsPerDevice int                 `json:"sessions_per_device"`
+	SessionSecs       int                 `json:"session_secs"`
+	BatchSize         int                 `json:"batch_size"`
+	GoMaxProcs        int                 `json:"gomaxprocs"`
+	Runs              []*snip.FleetReport `json:"runs"`
+}
+
+func main() {
+	game := flag.String("game", "Colorphun", "game workload")
+	devices := flag.String("devices", "1,2,4,8", "comma-separated device counts to sweep")
+	sessions := flag.Int("sessions", 2, "sessions per device")
+	secs := flag.Int("secs", 15, "simulated seconds per session")
+	batch := flag.Int("batch", 2, "sessions per batched upload")
+	profileSessions := flag.Int("profile-sessions", 4, "training sessions for the initial table")
+	ota := flag.Bool("ota", true, "perform a live OTA rebuild+swap mid-run")
+	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS")
+	out := flag.String("out", "BENCH_fleet.json", "bench file to write")
+	validate := flag.String("validate", "", "validate an existing bench file and exit")
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetbench: invalid:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *validate)
+		return
+	}
+
+	counts, err := parseCounts(*devices)
+	fatalIf(err)
+	dur := time.Duration(*secs) * time.Second
+
+	fmt.Fprintf(os.Stderr, "training %s table on %d sessions...\n", *game, *profileSessions)
+	profile, err := snip.Profile(*game, snip.ProfileOptions{
+		Sessions: *profileSessions, Duration: dur, Workers: *workers,
+	})
+	fatalIf(err)
+	pfiOpts := snip.DefaultPFIOptions()
+	pfiOpts.Workers = *workers
+	table, _, err := snip.BuildTable(profile, pfiOpts)
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "table: %d rows, %d bytes\n", table.Rows(), table.SizeBytes())
+
+	file := &benchFile{
+		Bench: "fleet", Game: *game,
+		SessionsPerDevice: *sessions, SessionSecs: *secs, BatchSize: *batch,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, n := range counts {
+		rep, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota)
+		fatalIf(err)
+		file.Runs = append(file.Runs, rep)
+		fmt.Fprintf(os.Stderr,
+			"devices=%d  %.0f lookups/sec  p50=%dns p99=%dns  hit=%.1f%%  wire=%dB (saved %.1f%%)  swaps=%d\n",
+			n, rep.LookupsPerSec, rep.P50LookupNS, rep.P99LookupNS,
+			100*rep.HitRate, rep.UploadBytes, 100*rep.TransferSavings, rep.Swaps)
+	}
+
+	f, err := os.Create(*out)
+	fatalIf(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	fatalIf(enc.Encode(file))
+	fatalIf(f.Close())
+	fmt.Printf("wrote %s (%d runs)\n", *out, len(file.Runs))
+}
+
+// runOnce measures one device count against a fresh in-process cloud, so
+// sweep points don't feed each other's profiles.
+func runOnce(game string, table *snip.Table, devices, sessions int,
+	dur time.Duration, batch int, ota bool) (*snip.FleetReport, error) {
+	svc := snip.NewCloudService(snip.DefaultPFIOptions())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	opts := snip.FleetOptions{
+		Game: game, Devices: devices, SessionsPerDevice: sessions,
+		Duration: dur, SeedBase: 5000,
+		Table:     snip.NewSharedTable(table),
+		CloudURL:  "http://" + ln.Addr().String(),
+		BatchSize: batch,
+	}
+	if ota {
+		// One live rebuild+swap once half the fleet's sessions are in.
+		opts.RefreshAfterSessions = (devices*sessions + 1) / 2
+	}
+	return snip.RunFleet(opts)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad device count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no device counts")
+	}
+	return counts, nil
+}
+
+// validateFile checks a bench file against the schema — the ci.sh smoke
+// gate for the harness.
+func validateFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f benchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	if f.Bench != "fleet" {
+		return fmt.Errorf("bench %q, want \"fleet\"", f.Bench)
+	}
+	if f.Game == "" || f.SessionsPerDevice < 1 || f.SessionSecs < 1 {
+		return fmt.Errorf("missing run settings")
+	}
+	if len(f.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	for i, r := range f.Runs {
+		switch {
+		case r.Sessions != r.Devices*f.SessionsPerDevice:
+			return fmt.Errorf("run %d: sessions %d != devices %d * %d", i, r.Sessions, r.Devices, f.SessionsPerDevice)
+		case r.Lookups <= 0 || r.Events <= 0:
+			return fmt.Errorf("run %d: no lookups served", i)
+		case r.LookupsPerSec <= 0:
+			return fmt.Errorf("run %d: missing lookups/sec", i)
+		case r.P50LookupNS <= 0 || r.P99LookupNS < r.P50LookupNS:
+			return fmt.Errorf("run %d: bad latency estimates p50=%d p99=%d", i, r.P50LookupNS, r.P99LookupNS)
+		case r.Batches > 0 && r.UploadBytes >= r.RawUploadBytes:
+			return fmt.Errorf("run %d: batching saved nothing (%dB wire vs %dB raw)", i, r.UploadBytes, r.RawUploadBytes)
+		}
+	}
+	return nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetbench:", err)
+		os.Exit(1)
+	}
+}

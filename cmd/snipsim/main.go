@@ -25,6 +25,7 @@ func main() {
 	secs := flag.Int("secs", 45, "simulated session seconds")
 	seed := flag.Uint64("seed", 1, "session seed (the user)")
 	profileSessions := flag.Int("profile-sessions", 8, "training sessions for the SNIP table")
+	fleetN := flag.Int("fleet", 0, "serve the built table to N concurrent devices and report lookup rates (snip scheme only)")
 	list := flag.Bool("list", false, "list game workloads and exit")
 	check := flag.Bool("check", true, "shadow-check short-circuit correctness (snip only)")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS (or $SNIP_WORKERS)")
@@ -56,7 +57,7 @@ func main() {
 		opts.Metrics = met
 	}
 
-	needsTable := opts.Scheme == snip.SchemeSNIP || opts.Scheme == snip.SchemeNoOverheads
+	needsTable := opts.Scheme == snip.SchemeSNIP || opts.Scheme == snip.SchemeNoOverheads || *fleetN > 0
 	if needsTable {
 		fmt.Fprintf(os.Stderr, "profiling %s on %d training sessions...\n", *game, *profileSessions)
 		profile, err := snip.Profile(*game, snip.ProfileOptions{
@@ -76,6 +77,29 @@ func main() {
 			table.Instrument(met)
 		}
 		opts.Table = table
+	}
+
+	// Fleet mode: skip the energy report, serve the table concurrently.
+	if *fleetN > 0 {
+		rep, err := snip.RunFleet(snip.FleetOptions{
+			Game: *game, Devices: *fleetN, SessionsPerDevice: 1,
+			Duration: opts.Duration, SeedBase: *seed,
+			Table: snip.NewSharedTable(opts.Table), Metrics: met,
+		})
+		fatalIf(err)
+		fmt.Printf("game:            %s\n", rep.Game)
+		fmt.Printf("devices:         %d\n", rep.Devices)
+		fmt.Printf("events:          %d\n", rep.Events)
+		fmt.Printf("lookups/sec:     %.0f\n", rep.LookupsPerSec)
+		fmt.Printf("lookup latency:  p50 %d ns, p99 %d ns\n", rep.P50LookupNS, rep.P99LookupNS)
+		fmt.Printf("hit rate:        %.1f%%\n", 100*rep.HitRate)
+		switch *metricsMode {
+		case "text":
+			fatalIf(met.WriteText(os.Stderr))
+		case "json":
+			fatalIf(met.WriteJSON(os.Stderr))
+		}
+		return
 	}
 
 	// Always run the baseline too, for the saving comparison.

@@ -1,0 +1,151 @@
+package snip
+
+import (
+	"time"
+
+	"snip/internal/cloud"
+	"snip/internal/fleet"
+	"snip/internal/memo"
+	"snip/internal/units"
+)
+
+// SharedTable publishes one frozen lookup table to any number of
+// concurrent readers and supports live OTA replacement (RCU-style: new
+// probes see the new table immediately, in-flight probes finish on the
+// old one). It is what a device fleet serves from.
+type SharedTable struct {
+	s *memo.Shared
+}
+
+// NewSharedTable freezes a built table and publishes it. A nil table is
+// allowed: the fleet then executes everything until the first Publish.
+func NewSharedTable(t *Table) *SharedTable {
+	if t == nil {
+		return &SharedTable{s: memo.NewShared(nil)}
+	}
+	return &SharedTable{s: memo.NewShared(t.t)}
+}
+
+// Publish freezes and atomically swaps in a new table, returning the new
+// version number.
+func (s *SharedTable) Publish(t *Table) int64 { return s.s.Swap(t.t) }
+
+// Version returns the published table's version (0 when empty).
+func (s *SharedTable) Version() int64 { return s.s.Version() }
+
+// Swaps returns how many live replacements have happened.
+func (s *SharedTable) Swaps() int64 { return s.s.Swaps() }
+
+// FleetOptions configures a device-fleet serving run: N concurrent
+// simulated devices playing workload-generated sessions against one
+// SharedTable, optionally uploading their event logs to a cloud profiler
+// in gzip'd batches and performing one live OTA table refresh mid-run.
+type FleetOptions struct {
+	// Game names the workload every device plays.
+	Game string
+	// Devices is the number of concurrent devices (default 1).
+	Devices int
+	// SessionsPerDevice is how many sessions each device plays
+	// (default 1).
+	SessionsPerDevice int
+	// Duration is each session's simulated length.
+	Duration time.Duration
+	// SeedBase offsets per-session seeds for reproducible runs.
+	SeedBase uint64
+	// Table is the shared table to serve from. Required.
+	Table *SharedTable
+	// CloudURL, when non-empty, points at a CloudService; devices then
+	// upload finished sessions in batches of BatchSize.
+	CloudURL string
+	// BatchSize is sessions per batched upload (default 1).
+	BatchSize int
+	// RefreshAfterSessions, when > 0, has one device trigger a cloud
+	// rebuild + table fetch + live swap once that many sessions have
+	// been uploaded fleet-wide.
+	RefreshAfterSessions int
+	// Metrics, when non-nil, receives the snip_fleet_* series and the
+	// cloud client's retry counter.
+	Metrics *Metrics
+}
+
+// FleetReport aggregates a fleet run, JSON-encodable for BENCH files.
+type FleetReport struct {
+	Game     string `json:"game"`
+	Devices  int    `json:"devices"`
+	Sessions int    `json:"sessions"`
+	Events   int64  `json:"events"`
+
+	Lookups int64   `json:"lookups"`
+	Hits    int64   `json:"hits"`
+	HitRate float64 `json:"hit_rate"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	P50LookupNS   int64   `json:"p50_lookup_ns"`
+	P99LookupNS   int64   `json:"p99_lookup_ns"`
+
+	Batches         int     `json:"batches"`
+	UploadBytes     int64   `json:"upload_bytes"`
+	RawUploadBytes  int64   `json:"raw_upload_bytes"`
+	TransferSavings float64 `json:"transfer_savings"`
+
+	Swaps        int64 `json:"swaps"`
+	TableVersion int64 `json:"table_version"`
+}
+
+// RunFleet executes a fleet serving run and reports its aggregate rates.
+func RunFleet(o FleetOptions) (*FleetReport, error) {
+	if o.Devices == 0 {
+		o.Devices = 1
+	}
+	if o.SessionsPerDevice == 0 {
+		o.SessionsPerDevice = 1
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 1
+	}
+	cfg := fleet.Config{
+		Game:                 o.Game,
+		Devices:              o.Devices,
+		SessionsPerDevice:    o.SessionsPerDevice,
+		SessionDuration:      units.Time(o.Duration / time.Microsecond),
+		SeedBase:             o.SeedBase,
+		BatchSize:            o.BatchSize,
+		RefreshAfterSessions: o.RefreshAfterSessions,
+		Obs:                  o.Metrics.Registry(),
+	}
+	if o.Table != nil {
+		cfg.Table = o.Table.s
+	}
+	if o.CloudURL != "" {
+		cfg.Client = cloud.NewClient(o.CloudURL)
+		cfg.Client.SetMetrics(o.Metrics.Registry())
+	}
+	r, err := fleet.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetReport{
+		Game:     r.Game,
+		Devices:  r.Devices,
+		Sessions: r.Sessions,
+		Events:   r.Events,
+
+		Lookups: r.Lookup.Lookups,
+		Hits:    r.Lookup.Hits,
+		HitRate: r.Lookup.HitRate(),
+
+		WallSeconds:   r.Wall.Seconds(),
+		LookupsPerSec: r.LookupsPerSec,
+		P50LookupNS:   r.P50LookupNS,
+		P99LookupNS:   r.P99LookupNS,
+
+		Batches:         r.Batches,
+		UploadBytes:     r.UploadBytes.Bytes(),
+		RawUploadBytes:  r.RawBytes.Bytes(),
+		TransferSavings: r.TransferSavings(),
+
+		Swaps:        r.Swaps,
+		TableVersion: r.TableVersion,
+	}, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -16,12 +17,14 @@ import (
 	"snip/internal/obs"
 	"snip/internal/pfi"
 	"snip/internal/trace"
+	"snip/internal/units"
 )
 
 // Service exposes the profiler fleet over HTTP — the device/cloud split
 // of Fig. 10. Endpoints:
 //
 //	POST /v1/upload?game=G&seed=S   body: events-only log (trace gob)
+//	POST /v1/upload-batch?game=G    body: gzip'd multi-session batch
 //	POST /v1/rebuild?game=G         retrain PFI, build a new table
 //	GET  /v1/table?game=G           latest OTA table (gob)
 //	GET  /v1/status?game=G          text status
@@ -39,6 +42,8 @@ type Service struct {
 // per-endpoint request accounting fed by the latency middleware.
 type serviceMetrics struct {
 	uploads      *obs.Counter
+	batches      *obs.Counter
+	batchBytes   *obs.Counter
 	records      *obs.Counter
 	rebuilds     *obs.Counter
 	rebuildFails *obs.Counter
@@ -51,11 +56,13 @@ type serviceMetrics struct {
 
 // endpoints the middleware tracks; fixed so every series exists from
 // the first scrape rather than appearing after first use.
-var endpointNames = []string{"upload", "rebuild", "table", "status", "metrics"}
+var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics"}
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	m := &serviceMetrics{
-		uploads:      reg.Counter("snip_cloud_uploads_total", "event logs ingested"),
+		uploads:      reg.Counter("snip_cloud_uploads_total", "event logs ingested (batched sessions count individually)"),
+		batches:      reg.Counter("snip_cloud_upload_batches_total", "multi-session batch uploads ingested"),
+		batchBytes:   reg.Counter("snip_cloud_upload_batch_bytes_total", "compressed bytes received on the batch endpoint"),
 		records:      reg.Counter("snip_cloud_records_total", "profile records reconstructed from uploads"),
 		rebuilds:     reg.Counter("snip_cloud_rebuilds_total", "PFI rebuilds completed"),
 		rebuildFails: reg.Counter("snip_cloud_rebuild_failures_total", "PFI rebuilds that errored"),
@@ -145,6 +152,7 @@ func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/upload", s.instrument("upload", s.handleUpload))
+	mux.HandleFunc("POST /v1/upload-batch", s.instrument("upload-batch", s.handleUploadBatch))
 	mux.HandleFunc("POST /v1/rebuild", s.instrument("rebuild", s.handleRebuild))
 	mux.HandleFunc("GET /v1/table", s.instrument("table", s.handleTable))
 	mux.HandleFunc("GET /v1/status", s.instrument("status", s.handleStatus))
@@ -189,6 +197,51 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 	s.met.uploads.Inc()
 	s.met.records.Add(int64(after - before))
 	fmt.Fprintf(w, "ok records=%d\n", after)
+}
+
+// handleUploadBatch ingests a gzip'd multi-session batch: the fleet's
+// bulk path. Sessions replay in parallel on the profiler's emulator
+// fan-out and merge in upload order, so the resulting profile is
+// byte-identical to uploading the sessions one at a time.
+func (s *Service) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
+	game, ok := gameParam(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	batch, err := trace.DecodeBatch(bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if batch.Game != "" && batch.Game != game {
+		http.Error(w, fmt.Sprintf("batch game %q != %q", batch.Game, game), http.StatusBadRequest)
+		return
+	}
+	if len(batch.Sessions) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	logs := make([]SessionLog, len(batch.Sessions))
+	for i, se := range batch.Sessions {
+		logs[i] = SessionLog{Seed: se.Seed, Log: se.Log}
+	}
+	p := s.profiler(game)
+	before := p.ProfileLen()
+	if err := p.IngestLogs(0, logs); err != nil {
+		http.Error(w, "replay: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	after := p.ProfileLen()
+	s.met.uploads.Add(int64(len(logs)))
+	s.met.batches.Inc()
+	s.met.batchBytes.Add(int64(len(body)))
+	s.met.records.Add(int64(after - before))
+	fmt.Fprintf(w, "ok sessions=%d records=%d\n", len(logs), after)
 }
 
 func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
@@ -287,18 +340,77 @@ func DecodeUpdate(r io.Reader) (*TableUpdate, error) {
 // inside it.
 const DefaultClientTimeout = 30 * time.Second
 
-// Client is the device-side counterpart: upload logs, request rebuilds,
-// fetch tables.
+// RetryPolicy bounds the client's retry loop for transient failures
+// (network errors and 5xx responses). Backoff is exponential with full
+// jitter: attempt n sleeps uniform(0, min(MaxDelay, BaseDelay·2ⁿ⁻¹)].
+// 4xx responses never retry — they are the caller's bug, and retrying
+// them would just triple the error latency.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// <= 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is what NewClient installs: up to 3 tries with
+// 50 ms base backoff capped at 2 s — enough to ride out a profiler
+// restart without turning a dead cloud into a half-minute stall.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// backoff returns the sleep before retry attempt n (n >= 1).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if p.MaxDelay > 0 && (d > p.MaxDelay || d <= 0) {
+		d = p.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// Client is the device-side counterpart: upload logs (singly or in
+// gzip'd batches), request rebuilds, fetch tables. The underlying
+// transport keeps connections alive and pools them per host, so a fleet
+// of devices sharing one Client multiplexes over a handful of sockets
+// instead of handshaking per request. Safe for concurrent use.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry bounds the transient-failure retry loop (see RetryPolicy).
+	Retry RetryPolicy
+
+	// retries counts retry attempts when metrics are attached.
+	retries *obs.Counter
 }
 
 // NewClient builds a client for the given base URL (e.g.
 // "http://127.0.0.1:8370"). The underlying HTTP client carries
-// DefaultClientTimeout; replace c.HTTP to tune it.
+// DefaultClientTimeout and a pooled keep-alive transport sized for
+// fleet fan-in; replace c.HTTP to tune it.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: DefaultClientTimeout}}
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: DefaultClientTimeout, Transport: tr},
+		Retry:   DefaultRetryPolicy(),
+	}
+}
+
+// SetMetrics attaches an observability registry; the client then counts
+// retry attempts in snip_cloud_client_retries_total. Nil detaches.
+func (c *Client) SetMetrics(reg *obs.Registry) {
+	c.retries = reg.Counter("snip_cloud_client_retries_total",
+		"client requests retried after a transient failure")
 }
 
 // endpoint assembles BaseURL + path + escaped query parameters.
@@ -310,6 +422,46 @@ func (c *Client) endpoint(path string, q url.Values) string {
 	return u
 }
 
+// do issues one request with bounded retry on transient failures. body
+// may be nil; it is re-read from the byte slice on every attempt, which
+// is why the request body is materialized rather than streamed.
+func (c *Client) do(method, u, contentType string, body []byte) (*http.Response, error) {
+	pol := c.Retry
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Inc()
+			time.Sleep(pol.backoff(attempt))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, u, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			lastErr = err // transport error: transient, retry
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = errFromResponse(resp)
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("cloud: giving up after %d attempts: %w", pol.MaxAttempts, lastErr)
+}
+
 // Upload sends an events-only log for a session seed.
 func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
 	var buf bytes.Buffer
@@ -319,7 +471,7 @@ func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
 	u := c.endpoint("/v1/upload", url.Values{
 		"game": {game}, "seed": {strconv.FormatUint(seed, 10)},
 	})
-	resp, err := c.HTTP.Post(u, "application/octet-stream", &buf)
+	resp, err := c.do(http.MethodPost, u, "application/octet-stream", buf.Bytes())
 	if err != nil {
 		return err
 	}
@@ -327,10 +479,26 @@ func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
 	return errFromResponse(resp)
 }
 
+// UploadBatch sends many sessions in one gzip'd request — the fleet's
+// bulk ingest path. Returns the compressed bytes put on the wire.
+func (c *Client) UploadBatch(game string, sessions []trace.SessionEvents) (units.Size, error) {
+	var buf bytes.Buffer
+	if err := trace.EncodeBatch(&buf, &trace.SessionBatch{Game: game, Sessions: sessions}); err != nil {
+		return 0, err
+	}
+	u := c.endpoint("/v1/upload-batch", url.Values{"game": {game}})
+	resp, err := c.do(http.MethodPost, u, "application/octet-stream", buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return units.Size(buf.Len()), errFromResponse(resp)
+}
+
 // Rebuild asks the cloud to retrain and build a fresh table.
 func (c *Client) Rebuild(game string) error {
 	u := c.endpoint("/v1/rebuild", url.Values{"game": {game}})
-	resp, err := c.HTTP.Post(u, "text/plain", nil)
+	resp, err := c.do(http.MethodPost, u, "text/plain", nil)
 	if err != nil {
 		return err
 	}
@@ -341,7 +509,7 @@ func (c *Client) Rebuild(game string) error {
 // FetchTable downloads the latest OTA table.
 func (c *Client) FetchTable(game string) (*TableUpdate, error) {
 	u := c.endpoint("/v1/table", url.Values{"game": {game}})
-	resp, err := c.HTTP.Get(u)
+	resp, err := c.do(http.MethodGet, u, "", nil)
 	if err != nil {
 		return nil, err
 	}

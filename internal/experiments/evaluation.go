@@ -47,8 +47,9 @@ type Fig11Result struct {
 // training seeds, build the PFI table, then run the deployment session
 // under every scheme. Games fan out across workers; within a game the
 // five schemes stay in comparison order because later schemes are
-// measured against the baseline result and share the game's SnipTable
-// (whose lookup counters are reset between schemes).
+// measured against the baseline result. The game's SnipTable is shared
+// across schemes safely: lookups are read-only and each session owns its
+// cost accumulation.
 func Fig11Schemes(cfg Config) (*Fig11Result, error) {
 	rows, err := parallel.Map(cfg.Workers, len(GameNames()), func(i int) (*Fig11Row, error) {
 		return fig11Game(cfg, GameNames()[i])
@@ -72,7 +73,6 @@ func fig11Game(cfg Config, game string) (*Fig11Row, error) {
 
 	var baseline *schemes.Result
 	for _, k := range schemes.Kinds() {
-		table.ResetStats()
 		r, err := schemes.Run(schemes.Config{
 			Game: game, Seed: cfg.DeploySeed, Duration: cfg.Duration(),
 			Scheme: k, Table: table, EvalCorrectness: k == schemes.SNIP,
@@ -191,7 +191,6 @@ func Table1OptimizationScope(cfg Config, game string) (*Table1Result, error) {
 	}
 	res := &Table1Result{Game: game}
 	for _, k := range []schemes.Kind{schemes.MaxCPU, schemes.MaxIP, schemes.SNIP} {
-		table.ResetStats()
 		r, err := schemes.Run(schemes.Config{
 			Game: game, Seed: cfg.DeploySeed, Duration: cfg.Duration(),
 			Scheme: k, Table: table,

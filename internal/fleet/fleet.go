@@ -1,0 +1,450 @@
+// Package fleet drives many simulated devices against one shared SNIP
+// deployment: a read-mostly lookup table published through memo.Shared,
+// a cloud profiler reached through one pooled cloud.Client, and the
+// per-game behaviour models from internal/workload generating each
+// device's sessions.
+//
+// This is the serving-side complement to the single-device energy
+// simulation in internal/schemes. A schemes session charges every joule
+// on one phone; a fleet run asks the systems questions instead: how many
+// lookups per second does one frozen table sustain across N devices, what
+// are the p50/p99 probe latencies, how many bytes does batched ingest put
+// on the wire, and does a live OTA table swap disturb any of it.
+//
+// Three properties make the fleet safe and measurable:
+//
+//   - The table is immutable. Devices call Lookup on a frozen SnipTable
+//     loaded from a memo.Shared; all per-probe cost tallies accumulate in
+//     each device's own memo.LookupStats. No lookup mutates anything.
+//   - OTA refresh is RCU-style. One device triggers rebuild+fetch+swap
+//     mid-run; every other device picks up the new table on its next
+//     Shared.Load with no locks and no pause.
+//   - Workloads are open-loop. Event streams depend only on (game, seed),
+//     never on table contents, so total sessions, events and lookups are
+//     seed-deterministic even though hit counts vary with swap timing.
+package fleet
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snip/internal/cloud"
+	"snip/internal/events"
+	"snip/internal/games"
+	"snip/internal/memo"
+	"snip/internal/obs"
+	"snip/internal/schemes"
+	"snip/internal/trace"
+	"snip/internal/units"
+	"snip/internal/workload"
+)
+
+// Config describes one fleet run.
+type Config struct {
+	// Game names the workload every device plays.
+	Game string
+	// Devices is the number of concurrent simulated devices.
+	Devices int
+	// SessionsPerDevice is how many sessions each device plays.
+	SessionsPerDevice int
+	// SessionDuration is the simulated length of each session.
+	SessionDuration units.Time
+	// SeedBase offsets the per-session seeds; device d session s plays
+	// seed SeedBase + d*SessionsPerDevice + s, so runs are reproducible
+	// and no two sessions collide.
+	SeedBase uint64
+
+	// Table is the shared read-mostly table all devices probe. Required;
+	// it may start empty (Load() == nil) if an OTA refresh will publish
+	// the first table mid-run.
+	Table *memo.Shared
+	// Client reaches the cloud profiler. Nil disables uploads and OTA
+	// refresh (a pure lookup-serving run).
+	Client *cloud.Client
+	// BatchSize is the number of finished sessions a device packs into
+	// one gzip'd upload-batch. <= 1 uploads every session individually
+	// via the batch endpoint.
+	BatchSize int
+	// RefreshAfterSessions triggers the live OTA path: once that many
+	// sessions have been uploaded fleet-wide, exactly one device asks the
+	// cloud to rebuild, fetches the new table and swaps it into Table
+	// while every other device keeps serving. 0 disables.
+	RefreshAfterSessions int
+
+	// Obs, when non-nil, receives fleet counters and the lookup latency
+	// histogram (snip_fleet_*). Write-only, like everywhere else.
+	Obs *obs.Registry
+}
+
+func (c Config) validate() error {
+	if c.Game == "" {
+		return fmt.Errorf("fleet: missing game")
+	}
+	if c.Devices < 1 {
+		return fmt.Errorf("fleet: need at least 1 device, got %d", c.Devices)
+	}
+	if c.SessionsPerDevice < 1 {
+		return fmt.Errorf("fleet: need at least 1 session per device, got %d", c.SessionsPerDevice)
+	}
+	if c.SessionDuration <= 0 {
+		return fmt.Errorf("fleet: session duration must be positive")
+	}
+	if c.Table == nil {
+		return fmt.Errorf("fleet: missing shared table")
+	}
+	if c.RefreshAfterSessions > 0 && c.Client == nil {
+		return fmt.Errorf("fleet: OTA refresh needs a cloud client")
+	}
+	return nil
+}
+
+// latHist is a power-of-two-bucket latency histogram: bucket i counts
+// observations whose nanosecond value has bit length i. Per-device and
+// unsynchronized — devices merge their histograms at the end.
+type latHist struct {
+	buckets [41]int64
+	count   int64
+}
+
+func (h *latHist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+	h.count++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+}
+
+// quantile returns the upper bound (2^i - 1 ns) of the bucket containing
+// the q-th observation — a factor-of-two estimate, which is all a load
+// harness needs to tell 200 ns from 2 µs.
+func (h *latHist) quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count-1))
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<uint(len(h.buckets)) - 1
+}
+
+// DeviceResult is one device's tallies.
+type DeviceResult struct {
+	Device      int              `json:"device"`
+	Sessions    int              `json:"sessions"`
+	Events      int64            `json:"events"`
+	Lookup      memo.LookupStats `json:"lookup"`
+	Batches     int              `json:"batches"`
+	UploadBytes units.Size       `json:"upload_bytes"`
+	RawBytes    units.Size       `json:"raw_bytes"`
+}
+
+// Result aggregates a fleet run.
+type Result struct {
+	Game     string `json:"game"`
+	Devices  int    `json:"devices"`
+	Sessions int    `json:"sessions"`
+	Events   int64  `json:"events"`
+
+	// Lookup merges every device's probe tallies.
+	Lookup memo.LookupStats `json:"lookup"`
+
+	// Wall is the run's wall-clock time; LookupsPerSec the fleet-wide
+	// serving rate over it.
+	Wall          time.Duration `json:"wall_ns"`
+	LookupsPerSec float64       `json:"lookups_per_sec"`
+	// P50/P99LookupNS are power-of-two-bucket estimates of per-probe
+	// latency (table probe only, not handler execution).
+	P50LookupNS int64 `json:"p50_lookup_ns"`
+	P99LookupNS int64 `json:"p99_lookup_ns"`
+
+	// Upload accounting: batches put on the wire, their compressed bytes,
+	// and the bytes the same sessions would have cost uploaded singly.
+	Batches     int        `json:"batches"`
+	UploadBytes units.Size `json:"upload_bytes"`
+	RawBytes    units.Size `json:"raw_bytes"`
+
+	// Swaps and TableVersion expose the shared table's OTA history over
+	// the run (swaps performed during it, version at the end).
+	Swaps        int64 `json:"swaps"`
+	TableVersion int64 `json:"table_version"`
+
+	PerDevice []DeviceResult `json:"per_device,omitempty"`
+}
+
+// TransferSavings returns the fraction of single-upload bytes the
+// batched path avoided (0 when nothing was uploaded).
+func (r *Result) TransferSavings() float64 {
+	if r.RawBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.UploadBytes)/float64(r.RawBytes)
+}
+
+// fleetMetrics holds the registry handles; all nil-safe.
+type fleetMetrics struct {
+	sessions *obs.Counter
+	events   *obs.Counter
+	lookups  *obs.Counter
+	hits     *obs.Counter
+	batches  *obs.Counter
+	bytes    *obs.Counter
+	swaps    *obs.Counter
+	lookupNS *obs.Histogram
+}
+
+func newFleetMetrics(reg *obs.Registry) fleetMetrics {
+	return fleetMetrics{
+		sessions: reg.Counter("snip_fleet_sessions_total", "sessions played by the device fleet"),
+		events:   reg.Counter("snip_fleet_events_total", "events delivered across the fleet"),
+		lookups:  reg.Counter("snip_fleet_lookups_total", "shared-table probes across the fleet"),
+		hits:     reg.Counter("snip_fleet_hits_total", "shared-table probes that short-circuited"),
+		batches:  reg.Counter("snip_fleet_upload_batches_total", "batched uploads sent by the fleet"),
+		bytes:    reg.Counter("snip_fleet_upload_bytes_total", "compressed bytes the fleet put on the wire"),
+		swaps:    reg.Counter("snip_fleet_table_swaps_total", "live OTA table swaps observed by the fleet"),
+		lookupNS: reg.Histogram("snip_fleet_lookup_ns", "shared-table probe wall time in nanoseconds", obs.NanoBuckets()),
+	}
+}
+
+// run-wide coordination state shared by the device goroutines.
+type coordinator struct {
+	cfg      Config
+	met      fleetMetrics
+	uploaded atomic.Int64 // sessions confirmed ingested by the cloud
+	refresh  atomic.Bool  // OTA refresh claimed
+}
+
+// maybeRefresh performs the live OTA swap once the fleet has uploaded
+// enough sessions. Called by whichever device crosses the threshold
+// first, right after its successful batch upload — so the profiler is
+// guaranteed to hold the sessions the rebuild will train on.
+func (co *coordinator) maybeRefresh() error {
+	if co.cfg.RefreshAfterSessions <= 0 ||
+		co.uploaded.Load() < int64(co.cfg.RefreshAfterSessions) ||
+		!co.refresh.CompareAndSwap(false, true) {
+		return nil
+	}
+	if err := co.cfg.Client.Rebuild(co.cfg.Game); err != nil {
+		return fmt.Errorf("fleet: ota rebuild: %w", err)
+	}
+	up, err := co.cfg.Client.FetchTable(co.cfg.Game)
+	if err != nil {
+		return fmt.Errorf("fleet: ota fetch: %w", err)
+	}
+	co.cfg.Table.Swap(up.Table)
+	co.met.swaps.Inc()
+	return nil
+}
+
+// device plays one device's sessions and returns its tallies.
+func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *latHist, error) {
+	cfg := co.cfg
+	res := DeviceResult{Device: id}
+	hist := &latHist{}
+
+	game, err := games.New(cfg.Game)
+	if err != nil {
+		return res, hist, err
+	}
+
+	var pending []trace.SessionEvents
+	flush := func() error {
+		if cfg.Client == nil || len(pending) == 0 {
+			return nil
+		}
+		wire, err := cfg.Client.UploadBatch(cfg.Game, pending)
+		if err != nil {
+			return fmt.Errorf("fleet: device %d upload: %w", id, err)
+		}
+		res.Batches++
+		res.UploadBytes += wire
+		for i := range pending {
+			raw, err := trace.EventsOnlyTransferSize(pending[i].Log)
+			if err != nil {
+				return err
+			}
+			res.RawBytes += raw
+		}
+		co.uploaded.Add(int64(len(pending)))
+		co.met.batches.Inc()
+		co.met.bytes.Add(int64(wire))
+		pending = pending[:0]
+		return co.maybeRefresh()
+	}
+
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	for s := 0; s < cfg.SessionsPerDevice; s++ {
+		seed := cfg.SeedBase + uint64(id*cfg.SessionsPerDevice+s)
+		log, err := co.session(game, gen, seed, &res, hist)
+		if err != nil {
+			return res, hist, err
+		}
+		res.Sessions++
+		co.met.sessions.Inc()
+		if cfg.Client != nil {
+			pending = append(pending, trace.SessionEvents{Seed: seed, Log: log})
+			if len(pending) >= batch {
+				if err := flush(); err != nil {
+					return res, hist, err
+				}
+			}
+		}
+	}
+	return res, hist, flush()
+}
+
+// session plays one seed on the device's game instance: every delivered
+// event loads the current shared-table snapshot, probes it, and either
+// short-circuits (ApplyOutputs) or executes the handler — the same
+// decision the SNIP scheme makes, minus the energy simulation.
+func (co *coordinator) session(game games.Game, gen workload.Generator, seed uint64,
+	res *DeviceResult, hist *latHist) (*trace.EventLog, error) {
+	cfg := co.cfg
+	game.Reset(seed)
+	stream := gen.Generate(seed, cfg.SessionDuration)
+	synthCfg := events.DefaultSynthesizerConfig()
+	// Same per-session frame-counter base as schemes.Run, so a fleet
+	// session's events match a schemes session's for the same seed.
+	synthCfg.FrameBase = int64(seed%1_000_000) * 10_000_000
+	evs := events.NewSynthesizer(synthCfg).SynthesizeAll(stream)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+
+	var log *trace.EventLog
+	if cfg.Client != nil {
+		log = &trace.EventLog{Game: cfg.Game}
+	}
+	handled := make(map[events.Type]bool)
+	for _, t := range game.Types() {
+		handled[t] = true
+	}
+	var st memo.LookupStats
+	for _, e := range evs {
+		if !handled[e.Type] {
+			continue
+		}
+		res.Events++
+		if log != nil {
+			log.Events = append(log.Events, trace.LoggedEvent{
+				Type: e.Type.String(), Seq: e.Seq, Time: e.Time,
+				Values: append([]int64(nil), e.Values...),
+			})
+		}
+		tab := cfg.Table.Load()
+		if tab == nil {
+			game.Process(e)
+			continue
+		}
+		ev := e
+		resolver := func(name string) (uint64, bool) {
+			if v, ok := game.PeekField(name); ok {
+				return v, true
+			}
+			return schemes.ResolveEventField(ev, name)
+		}
+		start := time.Now()
+		entry, probes, cmpBytes, hit := tab.Lookup(e.Type.String(), resolver)
+		ns := time.Since(start).Nanoseconds()
+		hist.observe(ns)
+		co.met.lookupNS.Observe(ns)
+		st.Observe(probes, cmpBytes, hit)
+		if hit {
+			game.ApplyOutputs(entry.Outputs)
+		} else {
+			game.Process(e)
+		}
+	}
+	res.Lookup.Merge(st)
+	co.met.events.Add(res.Events)
+	co.met.lookups.Add(st.Lookups)
+	co.met.hits.Add(st.Hits)
+	return log, nil
+}
+
+// Run executes a fleet run: Devices goroutines, each playing
+// SessionsPerDevice sessions against the shared table, uploading in
+// batches, with at most one live OTA refresh mid-run.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.ForGame(cfg.Game)
+	if err != nil {
+		return nil, err
+	}
+	co := &coordinator{cfg: cfg, met: newFleetMetrics(cfg.Obs)}
+
+	swapsBefore := cfg.Table.Swaps()
+	start := time.Now()
+	results := make([]DeviceResult, cfg.Devices)
+	hists := make([]*latHist, cfg.Devices)
+	errs := make([]error, cfg.Devices)
+	var wg sync.WaitGroup
+	for d := 0; d < cfg.Devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			results[d], hists[d], errs[d] = co.device(d, gen)
+		}(d)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Game: cfg.Game, Devices: cfg.Devices, Wall: wall,
+		Swaps:        cfg.Table.Swaps() - swapsBefore,
+		TableVersion: cfg.Table.Version(),
+		PerDevice:    results,
+	}
+	merged := &latHist{}
+	for d := range results {
+		dr := results[d]
+		res.Sessions += dr.Sessions
+		res.Events += dr.Events
+		res.Lookup.Merge(dr.Lookup)
+		res.Batches += dr.Batches
+		res.UploadBytes += dr.UploadBytes
+		res.RawBytes += dr.RawBytes
+		merged.merge(hists[d])
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		res.LookupsPerSec = float64(res.Lookup.Lookups) / secs
+	}
+	res.P50LookupNS = merged.quantile(0.50)
+	res.P99LookupNS = merged.quantile(0.99)
+	return res, nil
+}

@@ -170,7 +170,9 @@ func TestSnipTableHitAndMiss(t *testing.T) {
 			return 0, false
 		}
 	}
+	var st LookupStats
 	e, probes, cmp, ok := table.Lookup("tap", resolve(2, 1))
+	st.Observe(probes, cmp, ok)
 	if !ok {
 		t.Fatal("expected hit")
 	}
@@ -181,21 +183,44 @@ func TestSnipTableHitAndMiss(t *testing.T) {
 		t.Fatalf("served output %d, want 21", got)
 	}
 	// Unseen mode misses.
-	if _, _, _, ok := table.Lookup("tap", resolve(2, 9)); ok {
+	if _, p2, c2, ok := table.Lookup("tap", resolve(2, 9)); ok {
 		t.Fatal("phantom hit")
+	} else {
+		st.Observe(p2, c2, ok)
 	}
 	// Unknown event type misses cleanly.
-	if _, _, _, ok := table.Lookup("vsync", resolve(0, 0)); ok {
+	if _, p3, c3, ok := table.Lookup("vsync", resolve(0, 0)); ok {
 		t.Fatal("hit on unknown type")
+	} else {
+		st.Observe(p3, c3, ok)
 	}
-	lookups, hits, probesTotal, cmpTotal := table.Stats()
-	if lookups != 3 || hits != 1 || probesTotal < 2 || cmpTotal < 1 {
-		t.Fatalf("stats %d %d %d %d", lookups, hits, probesTotal, cmpTotal)
+	if st.Lookups != 3 || st.Hits != 1 || st.Probes < 2 || st.ComparedBytes < 1 {
+		t.Fatalf("stats %+v", st)
 	}
-	table.ResetStats()
-	if l, h, p, c := table.Stats(); l+h+p+c != 0 {
-		t.Fatal("ResetStats failed")
+	if hr := st.HitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate %v", hr)
 	}
+	var agg LookupStats
+	agg.Merge(st)
+	agg.Merge(st)
+	if agg.Lookups != 6 || agg.Hits != 2 {
+		t.Fatalf("merge %+v", agg)
+	}
+}
+
+func TestSnipTableFreeze(t *testing.T) {
+	table := BuildSnip(synthProfile(16), selection())
+	table.Freeze()
+	if !table.Frozen() {
+		t.Fatal("Freeze did not stick")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert on a frozen table did not panic")
+		}
+	}()
+	table.Insert(rec(99, "tap", 1,
+		[]trace.Field{fld("event.tap.x", trace.InEvent, 4, 1)}, nil))
 }
 
 func outVal(fs []trace.Field, name string) (uint64, bool) {

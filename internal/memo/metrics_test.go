@@ -9,7 +9,7 @@ import (
 
 // TestSnipTableMetrics checks that the instrumented lookup path reports
 // exactly the same results as the bare one and that the counters agree
-// with the table's own internal statistics.
+// with a caller-owned LookupStats accumulation.
 func TestSnipTableMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	m := NewTableMetrics(reg, "snip")
@@ -18,7 +18,7 @@ func TestSnipTableMetrics(t *testing.T) {
 	inst := benchTable(256)
 	inst.SetMetrics(m)
 
-	var hits, misses int64
+	var st LookupStats
 	for i := 0; i < 512; i++ {
 		r := hitResolver(i) // i >= 256 resolves values never inserted... or recurring
 		e1, p1, c1, ok1 := bare.Lookup("tap", r)
@@ -29,22 +29,17 @@ func TestSnipTableMetrics(t *testing.T) {
 		if ok1 && (e1.StateKey != e2.StateKey) {
 			t.Fatalf("i=%d: different entries", i)
 		}
-		if ok1 {
-			hits++
-		} else {
-			misses++
-		}
+		st.Observe(p1, c1, ok1)
 	}
-	if m.Lookups.Value() != 512 || m.Hits.Value() != hits || m.Misses.Value() != misses {
+	if m.Lookups.Value() != 512 || m.Hits.Value() != st.Hits || m.Misses.Value() != st.Lookups-st.Hits {
 		t.Fatalf("counters lookups=%d hits=%d misses=%d, want 512/%d/%d",
-			m.Lookups.Value(), m.Hits.Value(), m.Misses.Value(), hits, misses)
+			m.Lookups.Value(), m.Hits.Value(), m.Misses.Value(), st.Hits, st.Lookups-st.Hits)
 	}
 	if m.LookupNS.Count() != 512 {
 		t.Fatalf("latency histogram has %d observations", m.LookupNS.Count())
 	}
-	tl, th, _, _ := inst.Stats()
-	if tl != m.Lookups.Value() || th != m.Hits.Value() {
-		t.Fatalf("internal stats (%d,%d) disagree with metrics (%d,%d)", tl, th, m.Lookups.Value(), m.Hits.Value())
+	if st.Lookups != m.Lookups.Value() || st.Hits != m.Hits.Value() {
+		t.Fatalf("caller stats (%d,%d) disagree with metrics (%d,%d)", st.Lookups, st.Hits, m.Lookups.Value(), m.Hits.Value())
 	}
 	if m.Evictions.Value() != 0 {
 		t.Fatal("evictions counted but no eviction policy exists")

@@ -1,0 +1,54 @@
+package memo
+
+import "sync/atomic"
+
+// Shared serves one immutable SnipTable snapshot to an arbitrary number
+// of concurrent readers and supports RCU-style OTA refresh: a rebuilt
+// table swaps in atomically without stalling in-flight lookups. This is
+// the fleet-serving shape of the paper's Fig. 10 deployment — the cloud
+// pushes a fresh table and every device picks it up on its next event.
+//
+// Readers call Load once per event (or per session, for a coarser
+// consistency window) and probe the returned snapshot; a snapshot stays
+// valid after a swap, it just stops being the latest. Writers build a
+// complete table off to the side and publish it with Swap, which freezes
+// it first: after publication the table is read-only by construction.
+type Shared struct {
+	p       atomic.Pointer[SnipTable]
+	version atomic.Int64
+	swaps   atomic.Int64
+}
+
+// NewShared publishes an initial table (which may be nil — Load then
+// returns nil until the first Swap). The table is frozen.
+func NewShared(t *SnipTable) *Shared {
+	s := &Shared{}
+	if t != nil {
+		t.Freeze()
+		s.p.Store(t)
+		s.version.Store(1)
+	}
+	return s
+}
+
+// Load returns the current snapshot. The result is immutable and safe to
+// probe from any goroutine; it may be nil if nothing was published yet.
+func (s *Shared) Load() *SnipTable { return s.p.Load() }
+
+// Swap publishes a rebuilt table, freezing it, and returns the new
+// version number. Readers holding the previous snapshot keep using it
+// until their next Load — the RCU grace period is implicit in Go's GC.
+func (s *Shared) Swap(t *SnipTable) int64 {
+	t.Freeze()
+	s.p.Store(t)
+	s.swaps.Add(1)
+	return s.version.Add(1)
+}
+
+// Version returns the number of the currently published table (0 before
+// the first publication).
+func (s *Shared) Version() int64 { return s.version.Load() }
+
+// Swaps returns how many times Swap replaced a published table (the
+// initial NewShared publication is not counted).
+func (s *Shared) Swaps() int64 { return s.swaps.Load() }

@@ -147,12 +147,12 @@ func (s Selection) KeysFromRuntime(eventType string, resolve Resolver) (eventKey
 }
 
 // SnipEntry is one row of the deployed table: the outputs to apply when
-// the necessary inputs match, plus bookkeeping for coverage estimation.
+// the necessary inputs match. Entries are immutable after the build so a
+// deployed table can be probed from any number of goroutines at once.
 type SnipEntry struct {
 	StateKey uint64
 	Outputs  []trace.Field
 	Instr    int64 // dynamic-instruction weight of the profiled execution
-	Hits     int64
 }
 
 // Bucket is the candidate list behind one event hash-code, scanned
@@ -168,6 +168,14 @@ type Bucket struct {
 // the hash of the selected In.Event fields (the "event hash-code"), then
 // resolved by comparing the necessary state inputs against each candidate
 // entry in the bucket.
+//
+// Lookup is strictly read-only: probing never mutates the table, so one
+// built table can serve any number of concurrent device sessions (the
+// fleet serving layer in internal/fleet does exactly that through a
+// Shared snapshot). Per-lookup costs come back as return values and are
+// aggregated by the caller into a LookupStats — the table itself keeps no
+// runtime counters. Insert is a build-time operation and must finish
+// before the table is shared; Freeze enforces that boundary.
 type SnipTable struct {
 	sel     Selection
 	buckets map[string]map[uint64]*Bucket
@@ -175,16 +183,60 @@ type SnipTable struct {
 	// it on every event and the selection is immutable once deployed.
 	stateWidth map[string]units.Size
 
-	lookups        int64
-	hits           int64
-	comparedBytes  int64 // Σ probes × state width (Fig. 11c)
-	probes         int64
-	conflictedRows int64
+	conflictedRows int64 // build-time only
+
+	// frozen marks the table immutable: Insert panics. Shared.Swap and
+	// Freeze set it; read-only methods ignore it.
+	frozen bool
 
 	// metrics, when attached, receives hit/miss counters and the
 	// wall-clock lookup-latency histogram. Nil means uninstrumented; the
-	// lookup path then pays exactly one pointer check.
+	// lookup path then pays exactly one pointer check. The counters are
+	// atomic, so an attached table may be probed concurrently — but
+	// attach (SetMetrics) before the table is shared.
 	metrics *TableMetrics
+}
+
+// LookupStats is the caller-owned accumulator for lookup costs. The
+// tables themselves are read-only at probe time (a shared table cannot
+// carry unsynchronized tallies), so each session, device or test owns
+// one of these and feeds it the per-call return values of Lookup.
+type LookupStats struct {
+	Lookups       int64
+	Hits          int64
+	Probes        int64 // candidate entries compared
+	ComparedBytes int64 // Σ probes × state width (Fig. 11c)
+}
+
+// Observe folds one Lookup outcome into the stats. Nil-safe, so callers
+// that don't track costs pass a nil accumulator.
+func (s *LookupStats) Observe(probes int64, comparedBytes units.Size, hit bool) {
+	if s == nil {
+		return
+	}
+	s.Lookups++
+	s.Probes += probes
+	s.ComparedBytes += int64(comparedBytes)
+	if hit {
+		s.Hits++
+	}
+}
+
+// Merge adds another accumulator (e.g. a per-device tally into the fleet
+// aggregate).
+func (s *LookupStats) Merge(o LookupStats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Probes += o.Probes
+	s.ComparedBytes += o.ComparedBytes
+}
+
+// HitRate returns hits per lookup (0 when empty).
+func (s LookupStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
 }
 
 // BuildSnip constructs the table from a profile under a selection.
@@ -220,10 +272,23 @@ func (t *SnipTable) Selection() Selection { return t.sel }
 // is not synchronized, only the counters behind it are.
 func (t *SnipTable) SetMetrics(m *TableMetrics) { t.metrics = m }
 
+// Freeze marks the table immutable. Any later Insert panics — the guard
+// that keeps a table safe to share across goroutines: once frozen, every
+// remaining operation is read-only.
+func (t *SnipTable) Freeze() { t.frozen = true }
+
+// Frozen reports whether the table has been sealed against inserts.
+func (t *SnipTable) Frozen() bool { return t.frozen }
+
 // Insert adds one profiled record. Records whose keys collide with a
 // different output record keep the first-profiled outputs; the conflict
 // count predicts the runtime error rate when PFI under-selects.
+// Inserting into a frozen (shared) table is a programming error and
+// panics.
 func (t *SnipTable) Insert(r *trace.Record) {
+	if t.frozen {
+		panic("memo: Insert on a frozen SnipTable")
+	}
 	byEvent := t.buckets[r.EventType]
 	if byEvent == nil {
 		byEvent = make(map[uint64]*Bucket)
@@ -268,6 +333,10 @@ func sameOutputs(a, b []trace.Field) bool {
 // entry; either way it returns the lookup cost: how many candidate
 // entries were compared (probes) and the total necessary-input bytes
 // loaded and compared (probes × per-entry state width).
+//
+// Lookup never mutates the table (data-race-free on a shared table;
+// pinned by the -race tests in shared_test.go). Callers that want
+// aggregate counts fold the return values into a LookupStats.
 func (t *SnipTable) Lookup(eventType string, resolve Resolver) (entry *SnipEntry, probes int64, comparedBytes units.Size, ok bool) {
 	if t.metrics == nil {
 		return t.lookup(eventType, resolve)
@@ -280,7 +349,6 @@ func (t *SnipTable) Lookup(eventType string, resolve Resolver) (entry *SnipEntry
 
 // lookup is the uninstrumented probe Lookup wraps.
 func (t *SnipTable) lookup(eventType string, resolve Resolver) (entry *SnipEntry, probes int64, comparedBytes units.Size, ok bool) {
-	t.lookups++
 	byEvent := t.buckets[eventType]
 	width := t.stateWidth[eventType]
 	if byEvent == nil {
@@ -289,8 +357,6 @@ func (t *SnipTable) lookup(eventType string, resolve Resolver) (entry *SnipEntry
 	ek, sk := t.sel.KeysFromRuntime(eventType, resolve)
 	b := byEvent[ek]
 	if b == nil {
-		t.probes++
-		t.comparedBytes += int64(width)
 		return nil, 1, width, false
 	}
 	// The real implementation scans the bucket comparing necessary
@@ -311,13 +377,9 @@ func (t *SnipTable) lookup(eventType string, resolve Resolver) (entry *SnipEntry
 		probes = 1
 	}
 	comparedBytes = units.Size(probes) * width
-	t.probes += probes
-	t.comparedBytes += int64(comparedBytes)
 	if !hit {
 		return nil, probes, comparedBytes, false
 	}
-	t.hits++
-	e.Hits++
 	return e, probes, comparedBytes, true
 }
 
@@ -374,16 +436,6 @@ func (t *SnipTable) Size() units.Size {
 	return total
 }
 
-// Stats returns lookup counters.
-func (t *SnipTable) Stats() (lookups, hits, probes, comparedBytes int64) {
-	return t.lookups, t.hits, t.probes, t.comparedBytes
-}
-
 // Conflicts returns how many profile rows disagreed with an existing
 // entry during the build.
 func (t *SnipTable) Conflicts() int64 { return t.conflictedRows }
-
-// ResetStats clears the runtime counters (not the contents).
-func (t *SnipTable) ResetStats() {
-	t.lookups, t.hits, t.probes, t.comparedBytes = 0, 0, 0, 0
-}

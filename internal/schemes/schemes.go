@@ -189,6 +189,11 @@ type Result struct {
 	LookupEnergy  units.Energy
 	ComparedBytes int64
 
+	// Lookup accumulates the per-probe costs for this session. The table
+	// itself is read-only at probe time (it may be shared with other
+	// concurrent sessions), so the tally lives here, with the caller.
+	Lookup memo.LookupStats
+
 	Errors ErrorStats
 
 	Dataset  *trace.Dataset  // when CollectTrace
@@ -386,6 +391,7 @@ func Run(cfg Config) (*Result, error) {
 				probeStart = time.Now()
 			}
 			entry, probes, cmpBytes, hit := cfg.Table.Lookup(e.Type.String(), resolver)
+			res.Lookup.Observe(probes, cmpBytes, hit)
 			if tracing {
 				chain.Probed = true
 				chain.Hit = hit
@@ -459,6 +465,14 @@ func Run(cfg Config) (*Result, error) {
 	res.ByGroup = meter.GroupTotals()
 	res.Breakdown = meter.Breakdown()
 	return res, nil
+}
+
+// ResolveEventField reads "event.<type>.<field>" names from the pending
+// event object — the event half of the SNIP runtime resolver (the state
+// half is Game.PeekField). Exported for the fleet serving layer, whose
+// device loop builds the same resolver.
+func ResolveEventField(e *events.Event, name string) (uint64, bool) {
+	return resolveEventField(e, name)
 }
 
 // resolveEventField reads "event.<type>.<field>" names from the pending

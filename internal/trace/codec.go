@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -16,10 +17,12 @@ import (
 // keep the client overhead negligible; EncodeEventsOnly implements that
 // reduced form.
 
-// magic distinguishes full profiles from events-only profiles on the wire.
+// magic distinguishes full profiles, events-only profiles and gzip'd
+// session batches on the wire.
 const (
 	magicFull       = "SNIPPROF1"
 	magicEventsOnly = "SNIPEVTS1"
+	magicBatch      = "SNIPBTCH1"
 )
 
 // Encode writes the full dataset (inputs and outputs) as a gob stream.
@@ -95,6 +98,72 @@ func DecodeEventsOnly(r io.Reader) (*EventLog, error) {
 		return nil, fmt.Errorf("trace: decode events: %w", err)
 	}
 	return &l, nil
+}
+
+// SessionEvents is one session's events-only log paired with the seed
+// that regenerates the game content it was played on — the unit of the
+// batched fleet upload.
+type SessionEvents struct {
+	Seed uint64
+	Log  *EventLog
+}
+
+// SessionBatch packs many sessions of one game into a single upload.
+// Gob's string interning plus gzip across sessions is what makes the
+// batch dramatically smaller than the per-session uploads it replaces
+// (event type names and value patterns repeat across sessions).
+type SessionBatch struct {
+	Game     string
+	Sessions []SessionEvents
+}
+
+// EncodeBatch writes a session batch as magic + gzip(gob) — the wire
+// form of POST /v1/upload-batch.
+func EncodeBatch(w io.Writer, b *SessionBatch) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, magicBatch); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(bw)
+	if err := gob.NewEncoder(zw).Encode(b); err != nil {
+		return fmt.Errorf("trace: encode batch: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: encode batch: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeBatch reads a session batch written by EncodeBatch.
+func DecodeBatch(r io.Reader) (*SessionBatch, error) {
+	br := bufio.NewReader(r)
+	var magic [9]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: decode batch header: %w", err)
+	}
+	if string(magic[:]) != magicBatch {
+		return nil, fmt.Errorf("trace: bad batch magic %q", magic)
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode batch: %w", err)
+	}
+	defer zr.Close()
+	var b SessionBatch
+	if err := gob.NewDecoder(zr).Decode(&b); err != nil {
+		return nil, fmt.Errorf("trace: decode batch: %w", err)
+	}
+	return &b, nil
+}
+
+// BatchTransferSize returns the encoded (compressed) size of a session
+// batch — what the fleet actually puts on the wire per upload.
+func BatchTransferSize(b *SessionBatch) (units.Size, error) {
+	var cw countingWriter
+	if err := EncodeBatch(&cw, b); err != nil {
+		return 0, err
+	}
+	return units.Size(cw.n), nil
 }
 
 // MarshalJSON-ready view types keep the JSON stable and readable.
