@@ -30,14 +30,17 @@ go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./intern
 echo "== go test -race (fleet serving: shared table + device fleet)"
 go test -race ./internal/fleet ./internal/memo
 
-echo "== fleet bench smoke (short run, then schema validation)"
+echo "== go test -race (tracing paths: span recording under concurrent drains)"
+go test -race -run 'Span|Trace|Healthz' ./internal/obs ./internal/cloud ./internal/fleet
+
+echo "== fleet bench smoke (short run, then schema validation incl. health/SLO fields)"
 go run ./cmd/fleetbench -devices 1,2 -sessions 1 -secs 5 -profile-sessions 2 \
 	-out /tmp/snip_bench_fleet_smoke.json
 go run ./cmd/fleetbench -validate /tmp/snip_bench_fleet_smoke.json
 rm -f /tmp/snip_bench_fleet_smoke.json
 
-echo "== allocation gate (memo lookup + metrics hot paths must stay 0 allocs/op)"
-alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|SharedLookupParallel|CounterInc|GaugeSet|HistogramObserve|TracerRecord' \
+echo "== allocation gate (memo lookup + metrics + span hot paths must stay 0 allocs/op)"
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|SharedLookupParallel|SharedLookupSpan|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord' \
 	-benchmem -benchtime 1000x ./internal/memo ./internal/obs)
 echo "$alloc_out"
 bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')

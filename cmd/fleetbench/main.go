@@ -47,8 +47,14 @@ func main() {
 	ota := flag.Bool("ota", true, "perform a live OTA rebuild+swap mid-run")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS")
 	out := flag.String("out", "BENCH_fleet.json", "bench file to write")
+	metricsMode := flag.String("metrics", "", `dump the fleet-side metrics after the sweep: "text" (Prometheus exposition) or "json" (snapshot)`)
 	validate := flag.String("validate", "", "validate an existing bench file and exit")
 	flag.Parse()
+
+	if *metricsMode != "" && *metricsMode != "text" && *metricsMode != "json" {
+		fmt.Fprintf(os.Stderr, "fleetbench: -metrics %q: want text or json\n", *metricsMode)
+		os.Exit(2)
+	}
 
 	if *validate != "" {
 		if err := validateFile(*validate); err != nil {
@@ -79,14 +85,23 @@ func main() {
 		SessionsPerDevice: *sessions, SessionSecs: *secs, BatchSize: *batch,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
+	// One Metrics across the sweep: the snip_fleet_* series accumulate
+	// over every device count, and the span ring retains the tail of the
+	// last runs' traces.
+	met := snip.NewMetrics()
 	for _, n := range counts {
-		rep, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota)
+		rep, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota, met)
 		fatalIf(err)
 		file.Runs = append(file.Runs, rep)
+		health := "healthy"
+		if rep.Health != nil && !rep.Health.Healthy {
+			health = "DEGRADED"
+		}
 		fmt.Fprintf(os.Stderr,
-			"devices=%d  %.0f lookups/sec  p50=%dns p99=%dns  hit=%.1f%%  wire=%dB (saved %.1f%%)  swaps=%d\n",
+			"devices=%d  %.0f lookups/sec  p50=%dns p99=%dns  hit=%.1f%%  wire=%dB (saved %.1f%%)  swaps=%d  retries=%d  %s\n",
 			n, rep.LookupsPerSec, rep.P50LookupNS, rep.P99LookupNS,
-			100*rep.HitRate, rep.UploadBytes, 100*rep.TransferSavings, rep.Swaps)
+			100*rep.HitRate, rep.UploadBytes, 100*rep.TransferSavings, rep.Swaps,
+			rep.Retries, health)
 	}
 
 	f, err := os.Create(*out)
@@ -96,12 +111,19 @@ func main() {
 	fatalIf(enc.Encode(file))
 	fatalIf(f.Close())
 	fmt.Printf("wrote %s (%d runs)\n", *out, len(file.Runs))
+
+	switch *metricsMode {
+	case "text":
+		fatalIf(met.WriteText(os.Stdout))
+	case "json":
+		fatalIf(met.WriteJSON(os.Stdout))
+	}
 }
 
 // runOnce measures one device count against a fresh in-process cloud, so
 // sweep points don't feed each other's profiles.
 func runOnce(game string, table *snip.Table, devices, sessions int,
-	dur time.Duration, batch int, ota bool) (*snip.FleetReport, error) {
+	dur time.Duration, batch int, ota bool, met *snip.Metrics) (*snip.FleetReport, error) {
 	svc := snip.NewCloudService(snip.DefaultPFIOptions())
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -117,6 +139,7 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 		Table:     snip.NewSharedTable(table),
 		CloudURL:  "http://" + ln.Addr().String(),
 		BatchSize: batch,
+		Metrics:   met,
 	}
 	if ota {
 		// One live rebuild+swap once half the fleet's sessions are in.
@@ -172,6 +195,35 @@ func validateFile(path string) error {
 			return fmt.Errorf("run %d: bad latency estimates p50=%d p99=%d", i, r.P50LookupNS, r.P99LookupNS)
 		case r.Batches > 0 && r.UploadBytes >= r.RawUploadBytes:
 			return fmt.Errorf("run %d: batching saved nothing (%dB wire vs %dB raw)", i, r.UploadBytes, r.RawUploadBytes)
+		}
+		if err := validateHealth(i, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateHealth checks the health/SLO section every run must carry.
+func validateHealth(i int, r *snip.FleetReport) error {
+	h := r.Health
+	switch {
+	case h == nil:
+		return fmt.Errorf("run %d: missing health section", i)
+	case len(h.Verdicts) == 0:
+		return fmt.Errorf("run %d: health carries no SLO verdicts", i)
+	case len(h.Devices) != r.Devices:
+		return fmt.Errorf("run %d: %d device health entries, want %d", i, len(h.Devices), r.Devices)
+	case r.Hits > 0 && h.SavedInstr <= 0:
+		return fmt.Errorf("run %d: hits but no saved instructions", i)
+	case h.P99LookupNS != r.P99LookupNS:
+		return fmt.Errorf("run %d: health p99 %d != run p99 %d", i, h.P99LookupNS, r.P99LookupNS)
+	}
+	for _, v := range h.Verdicts {
+		if v.Name == "" {
+			return fmt.Errorf("run %d: unnamed SLO verdict", i)
+		}
+		if !v.OK && v.Detail == "" {
+			return fmt.Errorf("run %d: failing verdict %q carries no detail", i, v.Name)
 		}
 	}
 	return nil

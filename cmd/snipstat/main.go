@@ -1,0 +1,204 @@
+// Command snipstat is a live text dashboard for a running profilerd:
+// it polls /v1/healthz, /v1/metrics and /v1/tracez and renders the
+// service's health verdicts, the key ingest counters and the most
+// recent distributed traces.
+//
+// Usage:
+//
+//	snipstat -url http://localhost:8080            # refresh every 2s
+//	snipstat -url http://localhost:8080 -once      # one snapshot, then exit
+//	snipstat -interval 5s -traces 8
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type healthCheck struct {
+	Name      string  `json:"name"`
+	OK        bool    `json:"ok"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+type healthz struct {
+	Status        string        `json:"status"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Games         int           `json:"games"`
+	SpansRetained int           `json:"spans_retained"`
+	Checks        []healthCheck `json:"checks"`
+}
+
+type span struct {
+	Trace   string `json:"trace_id"`
+	Span    string `json:"span_id"`
+	Parent  string `json:"parent_id"`
+	Name    string `json:"name"`
+	Service string `json:"service"`
+	WallNS  int64  `json:"wall_ns"`
+	Err     bool   `json:"err"`
+}
+
+type tracez struct {
+	Total    int64  `json:"total_recorded"`
+	Retained int    `json:"retained"`
+	Spans    []span `json:"spans"`
+}
+
+func main() {
+	base := flag.String("url", "http://localhost:8080", "profilerd base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	traces := flag.Int("traces", 6, "recent spans to show")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		if err := render(os.Stdout, client, strings.TrimRight(*base, "/"), *traces, !*once); err != nil {
+			fmt.Fprintln(os.Stderr, "snipstat:", err)
+			if *once {
+				os.Exit(1)
+			}
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(client *http.Client, url string) ([]byte, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return b, resp.StatusCode, err
+}
+
+// render draws one dashboard frame. clear redraws in place (ANSI home +
+// wipe) for the watch loop; -once prints plainly for piping.
+func render(w io.Writer, client *http.Client, base string, traces int, clear bool) error {
+	hzBody, hzCode, err := fetch(client, base+"/v1/healthz")
+	if err != nil {
+		return err
+	}
+	var hz healthz
+	if err := json.Unmarshal(hzBody, &hz); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	metBody, _, err := fetch(client, base+"/v1/metrics")
+	if err != nil {
+		return err
+	}
+	series := parsePrometheus(string(metBody))
+	tzBody, _, err := fetch(client, base+"/v1/tracez?limit="+strconv.Itoa(traces))
+	if err != nil {
+		return err
+	}
+	var tz tracez
+	if err := json.Unmarshal(tzBody, &tz); err != nil {
+		return fmt.Errorf("tracez: %w", err)
+	}
+
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	if clear {
+		fmt.Fprint(out, "\033[H\033[2J")
+	}
+
+	status := strings.ToUpper(hz.Status)
+	if hzCode != http.StatusOK && hz.Status == "ok" {
+		status = fmt.Sprintf("HTTP %d", hzCode)
+	}
+	fmt.Fprintf(out, "snipstat  %s  —  %s  up %s  games=%d  spans=%d\n",
+		base, status, time.Duration(hz.UptimeSeconds*float64(time.Second)).Round(time.Second),
+		hz.Games, hz.SpansRetained)
+
+	fmt.Fprintln(out, "\nSLO checks")
+	for _, c := range hz.Checks {
+		mark := "ok  "
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(out, "  [%s] %-28s %10.3f  (threshold %.3f)", mark, c.Name, c.Value, c.Threshold)
+		if c.Detail != "" {
+			fmt.Fprintf(out, "  %s", c.Detail)
+		}
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintln(out, "\nIngest")
+	for _, row := range []struct{ label, series string }{
+		{"uploads", "snip_cloud_uploads_total"},
+		{"upload batches", "snip_cloud_upload_batches_total"},
+		{"records ingested", "snip_cloud_records_total"},
+		{"rebuilds", "snip_cloud_rebuilds_total"},
+		{"tables served", "snip_cloud_tables_served_total"},
+	} {
+		fmt.Fprintf(out, "  %-20s %12.0f\n", row.label, series[row.series])
+	}
+	fmt.Fprintln(out, "\nRequests by endpoint")
+	var eps []string
+	for name := range series {
+		if strings.HasPrefix(name, `snip_cloud_requests_total{endpoint="`) {
+			eps = append(eps, name)
+		}
+	}
+	sort.Strings(eps)
+	for _, name := range eps {
+		ep := strings.TrimSuffix(strings.TrimPrefix(name, `snip_cloud_requests_total{endpoint="`), `"}`)
+		errs := series[`snip_cloud_request_errors_total{endpoint="`+ep+`"}`]
+		fmt.Fprintf(out, "  %-14s %10.0f req  %6.0f err\n", ep, series[name], errs)
+	}
+
+	fmt.Fprintf(out, "\nRecent traces (%d recorded, %d retained)\n", tz.Total, tz.Retained)
+	for _, sp := range tz.Spans {
+		flag := " "
+		if sp.Err {
+			flag = "!"
+		}
+		fmt.Fprintf(out, "  %s%s  %-20s %-7s %10s\n",
+			flag, sp.Trace, sp.Name, sp.Service, time.Duration(sp.WallNS).Round(time.Microsecond))
+	}
+	if !clear {
+		return nil
+	}
+	fmt.Fprintln(out, "\n(ctrl-c to quit)")
+	return nil
+}
+
+// parsePrometheus reads text exposition format 0.0.4 into a flat
+// map of "name{labels}" → last value. Comments and histogram buckets
+// are kept too — callers just index the series they care about.
+func parsePrometheus(body string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}

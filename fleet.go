@@ -63,9 +63,42 @@ type FleetOptions struct {
 	// rebuild + table fetch + live swap once that many sessions have
 	// been uploaded fleet-wide.
 	RefreshAfterSessions int
-	// Metrics, when non-nil, receives the snip_fleet_* series and the
-	// cloud client's retry counter.
+	// Metrics, when non-nil, receives the snip_fleet_* series, the cloud
+	// client's retry counter, and distributed-tracing spans (session and
+	// batch-upload granularity) in its span buffer — with exemplar trace
+	// IDs attached to the lookup-latency histogram.
 	Metrics *Metrics
+}
+
+// FleetSLOVerdict is one health threshold comparison.
+type FleetSLOVerdict struct {
+	Name      string  `json:"name"`
+	OK        bool    `json:"ok"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// FleetDeviceHealth is one device's health view.
+type FleetDeviceHealth struct {
+	Device      int     `json:"device"`
+	HitRate     float64 `json:"hit_rate"`
+	SavedInstr  int64   `json:"saved_instr"`
+	P99LookupNS int64   `json:"p99_lookup_ns"`
+	Retries     int     `json:"retries"`
+}
+
+// FleetHealth is the run judged against the fleet SLO envelope: hit-rate
+// floor, p99 probe-latency ceiling, and a retries-per-batch ceiling.
+type FleetHealth struct {
+	Healthy         bool                `json:"healthy"`
+	HitRate         float64             `json:"hit_rate"`
+	SavedInstr      int64               `json:"saved_instr"`
+	P99LookupNS     int64               `json:"p99_lookup_ns"`
+	Retries         int                 `json:"retries"`
+	RetriesPerBatch float64             `json:"retries_per_batch"`
+	Verdicts        []FleetSLOVerdict   `json:"verdicts"`
+	Devices         []FleetDeviceHealth `json:"devices,omitempty"`
 }
 
 // FleetReport aggregates a fleet run, JSON-encodable for BENCH files.
@@ -91,6 +124,11 @@ type FleetReport struct {
 
 	Swaps        int64 `json:"swaps"`
 	TableVersion int64 `json:"table_version"`
+
+	// Retries counts transport retries across every device's uploads.
+	Retries int `json:"retries"`
+	// Health is the SLO judgment of the run. Always set.
+	Health *FleetHealth `json:"health"`
 }
 
 // RunFleet executes a fleet serving run and reports its aggregate rates.
@@ -113,6 +151,7 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		BatchSize:            o.BatchSize,
 		RefreshAfterSessions: o.RefreshAfterSessions,
 		Obs:                  o.Metrics.Registry(),
+		Spans:                o.Metrics.SpanBuffer(),
 	}
 	if o.Table != nil {
 		cfg.Table = o.Table.s
@@ -147,5 +186,30 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 
 		Swaps:        r.Swaps,
 		TableVersion: r.TableVersion,
+		Retries:      r.Retries,
+		Health:       healthReport(r.Health),
 	}, nil
+}
+
+// healthReport mirrors the internal health snapshot into the public,
+// JSON-stable report types.
+func healthReport(h *fleet.HealthSnapshot) *FleetHealth {
+	if h == nil {
+		return nil
+	}
+	out := &FleetHealth{
+		Healthy:         h.Healthy,
+		HitRate:         h.HitRate,
+		SavedInstr:      h.SavedInstr,
+		P99LookupNS:     h.P99LookupNS,
+		Retries:         h.Retries,
+		RetriesPerBatch: h.RetriesPerBatch,
+	}
+	for _, v := range h.Verdicts {
+		out.Verdicts = append(out.Verdicts, FleetSLOVerdict(v))
+	}
+	for _, d := range h.Devices {
+		out.Devices = append(out.Devices, FleetDeviceHealth(d))
+	}
+	return out
 }

@@ -2,12 +2,15 @@ package cloud
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"math/rand/v2"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"sync"
@@ -29,12 +32,23 @@ import (
 //	GET  /v1/table?game=G           latest OTA table (gob)
 //	GET  /v1/status?game=G          text status
 //	GET  /v1/metrics                Prometheus text exposition
+//	GET  /v1/healthz                JSON health/SLO verdict
+//	GET  /v1/tracez                 recent ingest spans (JSON)
+//	GET  /debug/pprof/*             net/http/pprof profiles
+//
+// Requests carrying an X-Snip-Trace header (see obs.TraceHeader) are
+// linked into the caller's distributed trace: the middleware records a
+// cloud-side ingest span under the device-side parent and attaches the
+// trace ID as the latency histogram's bucket exemplar, so one trace ID
+// follows an event chain from device dispatch to cloud ingest.
 type Service struct {
 	mu        sync.Mutex
 	cfg       pfi.Config
 	profilers map[string]*Profiler
 	reg       *obs.Registry
 	met       *serviceMetrics
+	spans     *obs.SpanBuffer
+	started   time.Time
 	log       *slog.Logger
 }
 
@@ -52,11 +66,16 @@ type serviceMetrics struct {
 	requests  map[string]*obs.Counter   // by endpoint
 	errors    map[string]*obs.Counter   // by endpoint, status >= 400
 	latencyNS map[string]*obs.Histogram // by endpoint
+	spanNames map[string]string         // by endpoint: "cloud.<ep>", pre-built
 }
 
 // endpoints the middleware tracks; fixed so every series exists from
 // the first scrape rather than appearing after first use.
-var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics"}
+var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics", "healthz", "tracez"}
+
+// ingestEndpoints are the ones whose error rate feeds the /v1/healthz
+// verdict — the data-path endpoints, not the introspection ones.
+var ingestEndpoints = []string{"upload", "upload-batch", "rebuild", "table"}
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	m := &serviceMetrics{
@@ -70,6 +89,7 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		requests:     make(map[string]*obs.Counter, len(endpointNames)),
 		errors:       make(map[string]*obs.Counter, len(endpointNames)),
 		latencyNS:    make(map[string]*obs.Histogram, len(endpointNames)),
+		spanNames:    make(map[string]string, len(endpointNames)),
 	}
 	for _, ep := range endpointNames {
 		m.requests[ep] = reg.Counter(
@@ -78,6 +98,7 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			`snip_cloud_request_errors_total{endpoint="`+ep+`"}`, "HTTP requests answered with status >= 400")
 		m.latencyNS[ep] = reg.Histogram(
 			`snip_cloud_request_ns{endpoint="`+ep+`"}`, "request handling wall time in nanoseconds", obs.NanoBuckets())
+		m.spanNames[ep] = "cloud." + ep
 	}
 	return m
 }
@@ -93,12 +114,18 @@ func NewService(cfg pfi.Config) *Service {
 		profilers: make(map[string]*Profiler),
 		reg:       reg,
 		met:       newServiceMetrics(reg),
+		spans:     obs.NewSpanBuffer(obs.DefaultTracerCapacity),
+		started:   time.Now(),
 	}
 }
 
 // Metrics returns the service's registry, for embedding its series into
 // a larger exposition or snapshotting in tests.
 func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Spans returns the service's ingest-span ring — the cloud half of the
+// distributed traces served at /v1/tracez.
+func (s *Service) Spans() *obs.SpanBuffer { return s.spans }
 
 // SetLogger attaches a structured logger for request and rebuild
 // events. Nil (the default) disables logging.
@@ -126,8 +153,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting, latency measurement
-// and structured logging for one endpoint.
+// instrument wraps a handler with request counting, latency measurement,
+// structured logging and distributed-trace continuation for one
+// endpoint: a request carrying X-Snip-Trace gets a cloud-side span
+// recorded under the device-side parent, and its trace ID becomes the
+// latency histogram's bucket exemplar.
 func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -135,9 +165,18 @@ func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 		h(sw, r)
 		elapsed := time.Since(start)
 		s.met.requests[endpoint].Inc()
-		s.met.latencyNS[endpoint].Observe(elapsed.Nanoseconds())
 		if sw.code >= 400 {
 			s.met.errors[endpoint].Inc()
+		}
+		if sc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok {
+			s.met.latencyNS[endpoint].ObserveExemplar(elapsed.Nanoseconds(), sc.Trace)
+			name := s.met.spanNames[endpoint]
+			sp := obs.StartSpan(sc.Child(obs.HashName(name)), sc.Span, name, 0)
+			sp.Service = "cloud"
+			sp.Err = sw.code >= 400
+			s.spans.FinishWall(&sp, elapsed.Nanoseconds())
+		} else {
+			s.met.latencyNS[endpoint].Observe(elapsed.Nanoseconds())
 		}
 		if s.log != nil {
 			s.log.Info("request",
@@ -157,7 +196,135 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/table", s.instrument("table", s.handleTable))
 	mux.HandleFunc("GET /v1/status", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/tracez", s.instrument("tracez", s.handleTracez))
+	// net/http/pprof, wired explicitly (the service never touches the
+	// DefaultServeMux): CPU/heap/goroutine/block profiles for debugging
+	// a live profiler under fleet load.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// healthCheck is one /v1/healthz verdict line.
+type healthCheck struct {
+	Name      string  `json:"name"`
+	OK        bool    `json:"ok"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// healthzReply is the /v1/healthz JSON schema.
+type healthzReply struct {
+	Status        string        `json:"status"` // "ok" | "degraded"
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Games         int           `json:"games"`
+	SpansRetained int           `json:"spans_retained"`
+	Checks        []healthCheck `json:"checks"`
+}
+
+// Healthz evaluates the service's SLO checks: the data-path endpoints'
+// error ratio must stay under 10% (once enough requests exist to
+// judge), and rebuilds must not be failing more often than succeeding.
+func (s *Service) Healthz() healthzReply {
+	s.mu.Lock()
+	games := len(s.profilers)
+	s.mu.Unlock()
+	reply := healthzReply{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Games:         games,
+		SpansRetained: s.spans.Len(),
+	}
+	const (
+		errorRatioMax  = 0.10
+		minJudgeable   = 20 // requests before an error ratio means anything
+		rebuildFailMax = 0.50
+	)
+	for _, ep := range ingestEndpoints {
+		reqs := s.met.requests[ep].Value()
+		errs := s.met.errors[ep].Value()
+		ratio := 0.0
+		if reqs > 0 {
+			ratio = float64(errs) / float64(reqs)
+		}
+		ok := reqs < minJudgeable || ratio <= errorRatioMax
+		reply.Checks = append(reply.Checks, healthCheck{
+			Name: "error_ratio_" + ep, OK: ok, Value: ratio, Threshold: errorRatioMax,
+			Detail: fmt.Sprintf("%d/%d requests errored", errs, reqs),
+		})
+		if !ok {
+			reply.Status = "degraded"
+		}
+	}
+	rebuilds := s.met.rebuilds.Value()
+	fails := s.met.rebuildFails.Value()
+	failRatio := 0.0
+	if rebuilds+fails > 0 {
+		failRatio = float64(fails) / float64(rebuilds+fails)
+	}
+	rebuildOK := failRatio <= rebuildFailMax
+	reply.Checks = append(reply.Checks, healthCheck{
+		Name: "rebuild_failures", OK: rebuildOK, Value: failRatio, Threshold: rebuildFailMax,
+		Detail: fmt.Sprintf("%d failed of %d attempts", fails, rebuilds+fails),
+	})
+	if !rebuildOK {
+		reply.Status = "degraded"
+	}
+	return reply
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reply := s.Healthz()
+	w.Header().Set("Content-Type", "application/json")
+	if reply.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(reply)
+}
+
+// handleTracez dumps recently recorded ingest spans, oldest first.
+// ?trace=<16 hex chars> filters to one trace; ?limit=N caps the dump
+// (default 256, newest retained).
+func (s *Service) handleTracez(w http.ResponseWriter, r *http.Request) {
+	spans := s.spans.Spans()
+	if tq := r.URL.Query().Get("trace"); tq != "" {
+		id, err := obs.ParseID(tq)
+		if err != nil {
+			http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans = s.spans.ForTrace(id)
+	}
+	limit := 256
+	if lq := r.URL.Query().Get("limit"); lq != "" {
+		n, err := strconv.Atoi(lq)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	if len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total    int64      `json:"total_recorded"`
+		Retained int        `json:"retained"`
+		Spans    []obs.Span `json:"spans"`
+	}{Total: s.spans.Total(), Retained: s.spans.Len(), Spans: spans})
 }
 
 // gameParam extracts and validates the required ?game= query parameter.
@@ -335,9 +502,9 @@ func DecodeUpdate(r io.Reader) (*TableUpdate, error) {
 	}, nil
 }
 
-// DefaultClientTimeout bounds every request made by a NewClient-built
-// client; table rebuilds dominate, and even large profiles finish well
-// inside it.
+// DefaultClientTimeout is the default per-attempt bound installed by
+// DefaultRetryPolicy; table rebuilds dominate, and even large profiles
+// finish well inside it.
 const DefaultClientTimeout = 30 * time.Second
 
 // RetryPolicy bounds the client's retry loop for transient failures
@@ -353,13 +520,26 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps a single backoff sleep.
 	MaxDelay time.Duration
+	// Timeout bounds each individual attempt end to end — connect
+	// through the last body byte, enforced with a per-request context
+	// deadline (cancelled when the response body is closed). 0 disables
+	// the bound. It lives on the policy because timeout and retry
+	// interact: the worst-case call latency is
+	// MaxAttempts·Timeout + backoff sleeps.
+	Timeout time.Duration
 }
 
 // DefaultRetryPolicy is what NewClient installs: up to 3 tries with
 // 50 ms base backoff capped at 2 s — enough to ride out a profiler
-// restart without turning a dead cloud into a half-minute stall.
+// restart without turning a dead cloud into a half-minute stall — and a
+// 30 s per-attempt timeout.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Timeout:     DefaultClientTimeout,
+	}
 }
 
 // backoff returns the sleep before retry attempt n (n >= 1).
@@ -382,17 +562,22 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
-	// Retry bounds the transient-failure retry loop (see RetryPolicy).
+	// Retry bounds the transient-failure retry loop and the per-attempt
+	// timeout (see RetryPolicy).
 	Retry RetryPolicy
 
 	// retries counts retry attempts when metrics are attached.
 	retries *obs.Counter
+	// log, when attached, records every retry attempt and final
+	// give-up with the upload's trace ID.
+	log *slog.Logger
 }
 
 // NewClient builds a client for the given base URL (e.g.
-// "http://127.0.0.1:8370"). The underlying HTTP client carries
-// DefaultClientTimeout and a pooled keep-alive transport sized for
-// fleet fan-in; replace c.HTTP to tune it.
+// "http://127.0.0.1:8370"). Requests are bounded by the retry policy's
+// per-attempt Timeout (DefaultClientTimeout out of the box — set
+// c.Retry.Timeout to tune it); the pooled keep-alive transport is sized
+// for fleet fan-in. Replace c.HTTP to tune the transport.
 func NewClient(baseURL string) *Client {
 	tr := &http.Transport{
 		MaxIdleConns:        256,
@@ -401,7 +586,7 @@ func NewClient(baseURL string) *Client {
 	}
 	return &Client{
 		BaseURL: baseURL,
-		HTTP:    &http.Client{Timeout: DefaultClientTimeout, Transport: tr},
+		HTTP:    &http.Client{Transport: tr},
 		Retry:   DefaultRetryPolicy(),
 	}
 }
@@ -413,6 +598,11 @@ func (c *Client) SetMetrics(reg *obs.Registry) {
 		"client requests retried after a transient failure")
 }
 
+// SetLogger attaches a structured logger; the client then logs every
+// retry attempt (level WARN, with the upload's trace ID) and final
+// give-up (level ERROR) instead of retrying silently. Nil disables.
+func (c *Client) SetLogger(l *slog.Logger) { c.log = l }
+
 // endpoint assembles BaseURL + path + escaped query parameters.
 func (c *Client) endpoint(path string, q url.Values) string {
 	u := c.BaseURL + path
@@ -422,48 +612,97 @@ func (c *Client) endpoint(path string, q url.Values) string {
 	return u
 }
 
-// do issues one request with bounded retry on transient failures. body
-// may be nil; it is re-read from the byte slice on every attempt, which
-// is why the request body is materialized rather than streamed.
-func (c *Client) do(method, u, contentType string, body []byte) (*http.Response, error) {
+// cancelBody releases the attempt's context deadline when the caller
+// finishes reading the response (Close), so the timeout covers the
+// whole exchange without leaking a timer per request.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// do issues one request with bounded retry on transient failures and
+// returns the response plus how many retries the call needed. body may
+// be nil; it is re-read from the byte slice on every attempt, which is
+// why the request body is materialized rather than streamed. A valid sc
+// is propagated in the X-Snip-Trace header, linking the server-side
+// ingest span into the caller's trace, and stamps the retry log lines.
+func (c *Client) do(method, u, contentType string, body []byte, sc obs.SpanContext) (*http.Response, int, error) {
 	pol := c.Retry
 	if pol.MaxAttempts <= 0 {
 		pol.MaxAttempts = 1
 	}
 	var lastErr error
+	retries := 0
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			retries++
 			c.retries.Inc()
+			if c.log != nil {
+				c.log.Warn("cloud client retry",
+					"attempt", attempt+1, "max_attempts", pol.MaxAttempts,
+					"url", u, "trace_id", sc.Trace.String(), "err", lastErr)
+			}
 			time.Sleep(pol.backoff(attempt))
+		}
+		ctx, cancel := context.Background(), context.CancelFunc(func() {})
+		if pol.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, pol.Timeout)
 		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequest(method, u, rd)
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
 		if err != nil {
-			return nil, err
+			cancel()
+			return nil, retries, err
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		if sc.Valid() {
+			req.Header.Set(obs.TraceHeader, sc.HeaderValue())
+		}
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
-			lastErr = err // transport error: transient, retry
+			cancel()
+			lastErr = err // transport error (incl. timeout): transient, retry
 			continue
 		}
 		if resp.StatusCode >= 500 {
 			lastErr = errFromResponse(resp)
 			resp.Body.Close()
+			cancel()
 			continue
 		}
-		return resp, nil
+		resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+		return resp, retries, nil
 	}
-	return nil, fmt.Errorf("cloud: giving up after %d attempts: %w", pol.MaxAttempts, lastErr)
+	err := fmt.Errorf("cloud: giving up after %d attempts: %w", pol.MaxAttempts, lastErr)
+	if c.log != nil {
+		c.log.Error("cloud client giving up",
+			"attempts", pol.MaxAttempts, "url", u,
+			"trace_id", sc.Trace.String(), "err", lastErr)
+	}
+	return nil, retries, err
 }
 
 // Upload sends an events-only log for a session seed.
 func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
+	return c.UploadTraced(game, seed, log, obs.SpanContext{})
+}
+
+// UploadTraced is Upload with distributed-trace propagation: the span
+// context (typically the session's root, see obs.Root) rides the
+// X-Snip-Trace header so the cloud's ingest span joins the session's
+// trace.
+func (c *Client) UploadTraced(game string, seed uint64, log *trace.EventLog, sc obs.SpanContext) error {
 	var buf bytes.Buffer
 	if err := trace.EncodeEventsOnly(&buf, log); err != nil {
 		return err
@@ -471,7 +710,7 @@ func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
 	u := c.endpoint("/v1/upload", url.Values{
 		"game": {game}, "seed": {strconv.FormatUint(seed, 10)},
 	})
-	resp, err := c.do(http.MethodPost, u, "application/octet-stream", buf.Bytes())
+	resp, _, err := c.do(http.MethodPost, u, "application/octet-stream", buf.Bytes(), sc)
 	if err != nil {
 		return err
 	}
@@ -479,26 +718,43 @@ func (c *Client) Upload(game string, seed uint64, log *trace.EventLog) error {
 	return errFromResponse(resp)
 }
 
+// BatchResult describes one batched upload's transport outcome.
+type BatchResult struct {
+	// Wire is the compressed bytes put on the wire.
+	Wire units.Size
+	// Retries is how many transient-failure retries the upload needed
+	// (reported even when the call ultimately failed).
+	Retries int
+}
+
 // UploadBatch sends many sessions in one gzip'd request — the fleet's
 // bulk ingest path. Returns the compressed bytes put on the wire.
 func (c *Client) UploadBatch(game string, sessions []trace.SessionEvents) (units.Size, error) {
+	br, err := c.UploadBatchTraced(game, sessions, obs.SpanContext{})
+	return br.Wire, err
+}
+
+// UploadBatchTraced is UploadBatch with distributed-trace propagation
+// and per-call retry accounting (the fleet's per-device health tallies
+// feed on the latter).
+func (c *Client) UploadBatchTraced(game string, sessions []trace.SessionEvents, sc obs.SpanContext) (BatchResult, error) {
 	var buf bytes.Buffer
 	if err := trace.EncodeBatch(&buf, &trace.SessionBatch{Game: game, Sessions: sessions}); err != nil {
-		return 0, err
+		return BatchResult{}, err
 	}
 	u := c.endpoint("/v1/upload-batch", url.Values{"game": {game}})
-	resp, err := c.do(http.MethodPost, u, "application/octet-stream", buf.Bytes())
+	resp, retries, err := c.do(http.MethodPost, u, "application/octet-stream", buf.Bytes(), sc)
 	if err != nil {
-		return 0, err
+		return BatchResult{Retries: retries}, err
 	}
 	defer resp.Body.Close()
-	return units.Size(buf.Len()), errFromResponse(resp)
+	return BatchResult{Wire: units.Size(buf.Len()), Retries: retries}, errFromResponse(resp)
 }
 
 // Rebuild asks the cloud to retrain and build a fresh table.
 func (c *Client) Rebuild(game string) error {
 	u := c.endpoint("/v1/rebuild", url.Values{"game": {game}})
-	resp, err := c.do(http.MethodPost, u, "text/plain", nil)
+	resp, _, err := c.do(http.MethodPost, u, "text/plain", nil, obs.SpanContext{})
 	if err != nil {
 		return err
 	}
@@ -509,7 +765,7 @@ func (c *Client) Rebuild(game string) error {
 // FetchTable downloads the latest OTA table.
 func (c *Client) FetchTable(game string) (*TableUpdate, error) {
 	u := c.endpoint("/v1/table", url.Values{"game": {game}})
-	resp, err := c.do(http.MethodGet, u, "", nil)
+	resp, _, err := c.do(http.MethodGet, u, "", nil, obs.SpanContext{})
 	if err != nil {
 		return nil, err
 	}

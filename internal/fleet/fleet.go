@@ -78,6 +78,17 @@ type Config struct {
 	// Obs, when non-nil, receives fleet counters and the lookup latency
 	// histogram (snip_fleet_*). Write-only, like everywhere else.
 	Obs *obs.Registry
+	// Spans, when non-nil, receives distributed-tracing spans at session
+	// and batch-upload granularity. The per-event probe loop deliberately
+	// records NO spans — N devices hammering one mutex ring would
+	// serialize the very hot path the fleet exists to measure; events
+	// surface in traces via lookup-latency histogram exemplars instead.
+	// The batch upload's span context rides the X-Snip-Trace header, so
+	// the cloud's ingest span lands in the same trace.
+	Spans *obs.SpanBuffer
+	// SLO overrides the health thresholds the run is judged against.
+	// Nil uses DefaultSLOConfig.
+	SLO *SLOConfig
 }
 
 func (c Config) validate() error {
@@ -159,6 +170,13 @@ type DeviceResult struct {
 	Batches     int              `json:"batches"`
 	UploadBytes units.Size       `json:"upload_bytes"`
 	RawBytes    units.Size       `json:"raw_bytes"`
+	// SavedInstr is the dynamic-instruction weight of the handler work
+	// the device's table hits short-circuited (the energy proxy).
+	SavedInstr int64 `json:"saved_instr"`
+	// Retries counts transport retries across the device's uploads.
+	Retries int `json:"retries"`
+	// P99LookupNS is the device's own p99 probe latency estimate.
+	P99LookupNS int64 `json:"p99_lookup_ns"`
 }
 
 // Result aggregates a fleet run.
@@ -191,7 +209,14 @@ type Result struct {
 	Swaps        int64 `json:"swaps"`
 	TableVersion int64 `json:"table_version"`
 
+	// Retries counts transport retries across every device's uploads.
+	Retries int `json:"retries"`
+
 	PerDevice []DeviceResult `json:"per_device,omitempty"`
+
+	// Health is the run judged against the SLO envelope (Config.SLO or
+	// DefaultSLOConfig). Always set by Run.
+	Health *HealthSnapshot `json:"health"`
 }
 
 // TransferSavings returns the fraction of single-upload bytes the
@@ -232,8 +257,17 @@ func newFleetMetrics(reg *obs.Registry) fleetMetrics {
 type coordinator struct {
 	cfg      Config
 	met      fleetMetrics
+	salt     uint64       // trace-ID salt, fixed per run: HashName("fleet/"+Game)
 	uploaded atomic.Int64 // sessions confirmed ingested by the cloud
 	refresh  atomic.Bool  // OTA refresh claimed
+}
+
+// sessionCtx derives the deterministic root span context for a session
+// seed: pure arithmetic on (seed, game salt), no RNG consumed, so the
+// same seed always lands in the same trace — on the device and, via the
+// propagated header, in the cloud.
+func (co *coordinator) sessionCtx(seed uint64) obs.SpanContext {
+	return obs.Root(obs.NewTraceID(seed, co.salt))
 }
 
 // maybeRefresh performs the live OTA swap once the fleet has uploaded
@@ -274,12 +308,22 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		if cfg.Client == nil || len(pending) == 0 {
 			return nil
 		}
-		wire, err := cfg.Client.UploadBatch(cfg.Game, pending)
+		// The batch joins the trace of its first session; that context
+		// rides X-Snip-Trace so the cloud's ingest span parents onto the
+		// upload span recorded here.
+		sc := co.sessionCtx(pending[0].Seed)
+		uploadStart := time.Now()
+		br, err := cfg.Client.UploadBatchTraced(cfg.Game, pending, sc)
+		res.Retries += br.Retries
+		sp := obs.StartSpan(sc.Child(obs.HashName("upload.batch")), sc.Span, "upload.batch", 0)
+		sp.Service = "device"
+		sp.Err = err != nil
+		cfg.Spans.FinishWall(&sp, time.Since(uploadStart).Nanoseconds())
 		if err != nil {
 			return fmt.Errorf("fleet: device %d upload: %w", id, err)
 		}
 		res.Batches++
-		res.UploadBytes += wire
+		res.UploadBytes += br.Wire
 		for i := range pending {
 			raw, err := trace.EventsOnlyTransferSize(pending[i].Log)
 			if err != nil {
@@ -289,7 +333,7 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		}
 		co.uploaded.Add(int64(len(pending)))
 		co.met.batches.Inc()
-		co.met.bytes.Add(int64(wire))
+		co.met.bytes.Add(int64(br.Wire))
 		pending = pending[:0]
 		return co.maybeRefresh()
 	}
@@ -325,6 +369,8 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 func (co *coordinator) session(game games.Game, gen workload.Generator, seed uint64,
 	res *DeviceResult, hist *latHist) (*trace.EventLog, error) {
 	cfg := co.cfg
+	sc := co.sessionCtx(seed)
+	sessionStart := time.Now()
 	game.Reset(seed)
 	stream := gen.Generate(seed, cfg.SessionDuration)
 	synthCfg := events.DefaultSynthesizerConfig()
@@ -375,9 +421,13 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 		entry, probes, cmpBytes, hit := tab.Lookup(e.Type.String(), resolver)
 		ns := time.Since(start).Nanoseconds()
 		hist.observe(ns)
-		co.met.lookupNS.Observe(ns)
+		// Exemplar, not a span: two atomic adds plus one atomic store
+		// keep the probe loop lock-free while still linking the latency
+		// histogram back to a concrete trace ID.
+		co.met.lookupNS.ObserveExemplar(ns, sc.Trace)
 		st.Observe(probes, cmpBytes, hit)
 		if hit {
+			res.SavedInstr += entry.Instr
 			game.ApplyOutputs(entry.Outputs)
 		} else {
 			game.Process(e)
@@ -387,6 +437,10 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 	co.met.events.Add(res.Events)
 	co.met.lookups.Add(st.Lookups)
 	co.met.hits.Add(st.Hits)
+	sp := obs.StartSpan(sc, 0, "fleet.session", 0)
+	sp.Service = "device"
+	sp.Hit = st.Hits > 0
+	cfg.Spans.FinishWall(&sp, time.Since(sessionStart).Nanoseconds())
 	return log, nil
 }
 
@@ -401,7 +455,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	co := &coordinator{cfg: cfg, met: newFleetMetrics(cfg.Obs)}
+	co := &coordinator{
+		cfg:  cfg,
+		met:  newFleetMetrics(cfg.Obs),
+		salt: obs.HashName("fleet/" + cfg.Game),
+	}
 
 	swapsBefore := cfg.Table.Swaps()
 	start := time.Now()
@@ -432,6 +490,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	merged := &latHist{}
 	for d := range results {
+		results[d].P99LookupNS = hists[d].quantile(0.99)
 		dr := results[d]
 		res.Sessions += dr.Sessions
 		res.Events += dr.Events
@@ -439,6 +498,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Batches += dr.Batches
 		res.UploadBytes += dr.UploadBytes
 		res.RawBytes += dr.RawBytes
+		res.Retries += dr.Retries
 		merged.merge(hists[d])
 	}
 	if secs := wall.Seconds(); secs > 0 {
@@ -446,5 +506,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.P50LookupNS = merged.quantile(0.50)
 	res.P99LookupNS = merged.quantile(0.99)
+	slo := DefaultSLOConfig()
+	if cfg.SLO != nil {
+		slo = *cfg.SLO
+	}
+	res.Health = buildHealth(slo, res)
 	return res, nil
 }

@@ -1,0 +1,132 @@
+package fleet
+
+import "fmt"
+
+// SLOConfig sets the thresholds a fleet run is judged against. A zero
+// threshold disables that check. The defaults encode the paper's
+// operating envelope: SNIP only pays for itself while the table keeps
+// short-circuiting a solid fraction of events, the probe stays far
+// below a frame budget, and uploads are not retry-storming the cloud.
+type SLOConfig struct {
+	// MinHitRate is the floor on the fleet-wide short-circuit rate.
+	MinHitRate float64 `json:"min_hit_rate"`
+	// MaxP99LookupNS is the ceiling on the fleet-wide p99 probe latency.
+	MaxP99LookupNS int64 `json:"max_p99_lookup_ns"`
+	// MaxRetriesPerBatch is the ceiling on transport retries per upload
+	// batch (a retry storm means the cloud, not the devices, is sick).
+	MaxRetriesPerBatch float64 `json:"max_retries_per_batch"`
+}
+
+// DefaultSLOConfig is the envelope used when Config.SLO is nil.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		// Conservative floor: catches a broken or mistrained table (hit
+		// rate near zero) without flagging lightly-trained ones, whose
+		// legitimate rates vary widely with training-set size.
+		MinHitRate:         0.05,
+		MaxP99LookupNS:     1 << 20, // ~1ms: orders of magnitude above a healthy probe
+		MaxRetriesPerBatch: 1.0,
+	}
+}
+
+// SLOVerdict is one threshold comparison; Value and Threshold are in
+// the check's native unit (ratio or nanoseconds).
+type SLOVerdict struct {
+	Name      string  `json:"name"`
+	OK        bool    `json:"ok"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// DeviceHealth is one device's health view, distilled from its tallies.
+type DeviceHealth struct {
+	Device      int     `json:"device"`
+	HitRate     float64 `json:"hit_rate"`
+	SavedInstr  int64   `json:"saved_instr"`
+	P99LookupNS int64   `json:"p99_lookup_ns"`
+	Retries     int     `json:"retries"`
+}
+
+// HealthSnapshot rolls per-device health into fleet-wide SLO verdicts.
+// Healthy is the conjunction of every enabled verdict.
+type HealthSnapshot struct {
+	Healthy         bool           `json:"healthy"`
+	HitRate         float64        `json:"hit_rate"`
+	SavedInstr      int64          `json:"saved_instr"`
+	P99LookupNS     int64          `json:"p99_lookup_ns"`
+	Retries         int            `json:"retries"`
+	RetriesPerBatch float64        `json:"retries_per_batch"`
+	Verdicts        []SLOVerdict   `json:"verdicts"`
+	Devices         []DeviceHealth `json:"devices,omitempty"`
+}
+
+// buildHealth judges a finished run against the SLO envelope. Checks
+// whose denominator never moved (no lookups, no batches) pass
+// vacuously: a pure serving run with an empty table is not "unhealthy",
+// it just has nothing to judge.
+func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
+	h := &HealthSnapshot{
+		Healthy:     true,
+		SavedInstr:  0,
+		P99LookupNS: res.P99LookupNS,
+		Retries:     res.Retries,
+	}
+	if res.Lookup.Lookups > 0 {
+		h.HitRate = float64(res.Lookup.Hits) / float64(res.Lookup.Lookups)
+	}
+	if res.Batches > 0 {
+		h.RetriesPerBatch = float64(res.Retries) / float64(res.Batches)
+	}
+	for _, dr := range res.PerDevice {
+		dh := DeviceHealth{
+			Device:      dr.Device,
+			SavedInstr:  dr.SavedInstr,
+			P99LookupNS: dr.P99LookupNS,
+			Retries:     dr.Retries,
+		}
+		if dr.Lookup.Lookups > 0 {
+			dh.HitRate = float64(dr.Lookup.Hits) / float64(dr.Lookup.Lookups)
+		}
+		h.SavedInstr += dr.SavedInstr
+		h.Devices = append(h.Devices, dh)
+	}
+
+	add := func(v SLOVerdict) {
+		h.Verdicts = append(h.Verdicts, v)
+		if !v.OK {
+			h.Healthy = false
+		}
+	}
+	if slo.MinHitRate > 0 {
+		v := SLOVerdict{
+			Name: "hit_rate", Value: h.HitRate, Threshold: slo.MinHitRate,
+			OK: res.Lookup.Lookups == 0 || h.HitRate >= slo.MinHitRate,
+		}
+		if !v.OK {
+			v.Detail = fmt.Sprintf("fleet hit rate %.3f below floor %.3f", h.HitRate, slo.MinHitRate)
+		}
+		add(v)
+	}
+	if slo.MaxP99LookupNS > 0 {
+		v := SLOVerdict{
+			Name: "p99_lookup_ns", Value: float64(res.P99LookupNS), Threshold: float64(slo.MaxP99LookupNS),
+			OK: res.Lookup.Lookups == 0 || res.P99LookupNS <= slo.MaxP99LookupNS,
+		}
+		if !v.OK {
+			v.Detail = fmt.Sprintf("p99 probe %dns above ceiling %dns", res.P99LookupNS, slo.MaxP99LookupNS)
+		}
+		add(v)
+	}
+	if slo.MaxRetriesPerBatch > 0 {
+		v := SLOVerdict{
+			Name: "retries_per_batch", Value: h.RetriesPerBatch, Threshold: slo.MaxRetriesPerBatch,
+			OK: res.Batches == 0 || h.RetriesPerBatch <= slo.MaxRetriesPerBatch,
+		}
+		if !v.OK {
+			v.Detail = fmt.Sprintf("%.2f retries per batch above ceiling %.2f (retry storm)", h.RetriesPerBatch, slo.MaxRetriesPerBatch)
+		}
+		add(v)
+	}
+	return h
+}

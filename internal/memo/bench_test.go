@@ -172,3 +172,28 @@ func BenchmarkBuildEventOnly(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSharedLookupSpan is the tracing half of the hot-path gate: a
+// shared-table probe bracketed by a span start/finish into a ring plus
+// a latency exemplar — the full per-probe tracing cost a device would
+// pay. Must stay 0 allocs/op (gated by ci.sh).
+func BenchmarkSharedLookupSpan(b *testing.B) {
+	shared := NewShared(benchTable(2048))
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("bench_lookup_ns", "", obs.NanoBuckets())
+	spans := obs.NewSpanBuffer(1024)
+	ctx := obs.Root(obs.NewTraceID(7, obs.HashName("bench/shared")))
+	resolve := hitResolver(777)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := obs.StartSpan(ctx.Child(uint64(i)), ctx.Span, "memo.lookup", int64(i))
+		_, _, _, ok := shared.Load().Lookup("tap", resolve)
+		if !ok {
+			b.Fatal("expected hit")
+		}
+		sp.Hit = ok
+		spans.FinishWall(&sp, 120)
+		hist.ObserveExemplar(120, ctx.Trace)
+	}
+}

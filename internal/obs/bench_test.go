@@ -53,6 +53,44 @@ func BenchmarkHistogramObserveNil(b *testing.B) {
 	}
 }
 
+// BenchmarkSpanStartFinish is the span half of the allocation gate:
+// deriving a child context, starting a span on the stack and finishing
+// it into the ring must stay 0 allocs/op (ci.sh fails otherwise).
+func BenchmarkSpanStartFinish(b *testing.B) {
+	buf := NewSpanBuffer(1024)
+	ctx := Root(NewTraceID(7, HashName("bench")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child := ctx.Child(uint64(i))
+		sp := StartSpan(child, ctx.Span, "memo.lookup", int64(i))
+		sp.Hit = true
+		buf.FinishWall(&sp, 120)
+	}
+}
+
+func BenchmarkSpanStartFinishNil(b *testing.B) {
+	var buf *SpanBuffer
+	ctx := Root(NewTraceID(7, HashName("bench")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(ctx.Child(uint64(i)), ctx.Span, "memo.lookup", int64(i))
+		buf.FinishWall(&sp, 120)
+	}
+}
+
+func BenchmarkHistogramObserveExemplar(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_ex_ns", "", NanoBuckets())
+	trace := NewTraceID(7, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveExemplar(int64(i&0xFFFF), trace)
+	}
+}
+
 func BenchmarkTracerRecord(b *testing.B) {
 	tr := NewTracer(1024)
 	c := Chain{Game: "Colorphun", EventType: "tap", Probed: true, Hit: true}

@@ -18,6 +18,13 @@ import (
 // deterministic; LookupNS is wall-clock and varies run to run — it lives
 // only in the trace, never in figures.
 type Chain struct {
+	// TraceID/SpanID place this chain in a distributed trace (span.go):
+	// the same trace ID follows the session's batched upload into the
+	// cloud ingest spans. Deterministically derived from the session
+	// seed; zero when the run predates tracing.
+	TraceID ID `json:"trace_id,omitempty"`
+	SpanID  ID `json:"span_id,omitempty"`
+
 	Game      string `json:"game"`
 	Scheme    string `json:"scheme"`
 	EventType string `json:"event_type"`

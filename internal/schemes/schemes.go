@@ -98,6 +98,12 @@ type Config struct {
 	// Tracer, when non-nil, records one obs.Chain per delivered event:
 	// dispatch → memo probe → handler execution → energy charged.
 	Tracer *obs.Tracer
+	// Spans, when non-nil, records distributed-tracing spans: a session
+	// root span plus, per delivered event, an event span and (for SNIP
+	// probes) a memo.lookup child. Span IDs are deterministic functions
+	// of (game, scheme, seed, seq), so the same session always produces
+	// the same trace — see obs.NewTraceID.
+	Spans *obs.SpanBuffer
 }
 
 // sessionMetrics tallies one session's counts in plain fields — the
@@ -196,6 +202,12 @@ type Result struct {
 
 	Errors ErrorStats
 
+	// TraceID is the session's distributed-trace identifier, set on
+	// every run (it is a pure function of game/scheme/seed, so setting
+	// it unconditionally keeps instrumented and bare results identical).
+	// Callers propagate it when uploading the session's EventLog.
+	TraceID obs.ID
+
 	Dataset  *trace.Dataset  // when CollectTrace
 	EventLog *trace.EventLog // when CollectEventLog
 }
@@ -277,15 +289,25 @@ func Run(cfg Config) (*Result, error) {
 	dispatcher.Sort()
 
 	met := newSessionMetrics(cfg.Obs)
-	tracing := cfg.Tracer != nil
+	tracing := cfg.Tracer != nil || cfg.Spans != nil
+
+	// The session's trace root is a pure function of (game, scheme,
+	// seed): rerunning the session reproduces every ID, and computing it
+	// unconditionally keeps traced and bare results identical.
+	root := obs.Root(obs.NewTraceID(cfg.Seed, obs.HashName(cfg.Game+"/"+cfg.Scheme.String())))
+	res.TraceID = root.Trace
+	gameName, schemeName := cfg.Game, cfg.Scheme.String()
 
 	deliver := func(e *events.Event) {
 		chip.AdvanceTo(e.Time)
 		var chain obs.Chain
 		var chainBefore units.Energy
+		var eventCtx obs.SpanContext
 		if tracing {
+			eventCtx = root.Child(uint64(e.Seq))
 			chain = obs.Chain{
-				Game: cfg.Game, Scheme: cfg.Scheme.String(),
+				TraceID: eventCtx.Trace, SpanID: eventCtx.Span,
+				Game: gameName, Scheme: schemeName,
 				EventType: e.Type.String(), Seq: e.Seq, TimeUS: int64(e.Time),
 			}
 			chainBefore = meter.Total()
@@ -398,6 +420,11 @@ func Run(cfg Config) (*Result, error) {
 				chain.Probes = probes
 				chain.ComparedBytes = int64(cmpBytes)
 				chain.LookupNS = time.Since(probeStart).Nanoseconds()
+				lkCtx := eventCtx.Child(1)
+				lk := obs.StartSpan(lkCtx, eventCtx.Span, "memo.lookup", int64(e.Time))
+				lk.Service = "device"
+				lk.Hit = hit
+				cfg.Spans.FinishWall(&lk, chain.LookupNS)
 			}
 			if cfg.Scheme == SNIP {
 				res.LookupEnergy += chip.LookupOverhead(probes, cmpBytes)
@@ -450,6 +477,10 @@ func Run(cfg Config) (*Result, error) {
 		if tracing {
 			chain.Energy = int64(meter.Total() - chainBefore)
 			cfg.Tracer.Record(chain)
+			ev := obs.StartSpan(eventCtx, root.Span, "event.deliver", int64(e.Time))
+			ev.Service = "device"
+			ev.Hit = chain.ShortCircuited
+			cfg.Spans.Finish(&ev, int64(chip.Now()))
 		}
 	}
 
@@ -459,6 +490,11 @@ func Run(cfg Config) (*Result, error) {
 	dispatcher.Drain()
 	chip.AdvanceTo(stream.End())
 	met.flush()
+	if cfg.Spans != nil {
+		session := obs.StartSpan(root, 0, "session", 0)
+		session.Service = "device"
+		cfg.Spans.Finish(&session, int64(chip.Now()))
+	}
 
 	res.Elapsed = chip.Now()
 	res.Energy = meter.Total()

@@ -20,15 +20,20 @@ import (
 type Metrics struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	spans  *obs.SpanBuffer
 }
 
-// NewMetrics creates a registry and an event-chain tracer (ring buffer
-// of obs.DefaultTracerCapacity chains) and instruments the process-wide
-// parallel fan-out pool.
+// NewMetrics creates a registry, an event-chain tracer and a span
+// buffer (rings of obs.DefaultTracerCapacity entries) and instruments
+// the process-wide parallel fan-out pool.
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	parallel.Instrument(reg)
-	return &Metrics{reg: reg, tracer: obs.NewTracer(obs.DefaultTracerCapacity)}
+	return &Metrics{
+		reg:    reg,
+		tracer: obs.NewTracer(obs.DefaultTracerCapacity),
+		spans:  obs.NewSpanBuffer(obs.DefaultTracerCapacity),
+	}
 }
 
 // Registry exposes the underlying registry for advanced callers.
@@ -54,6 +59,28 @@ func (m *Metrics) Chains() []obs.Chain {
 	}
 	return m.tracer.Chains()
 }
+
+// SpanBuffer exposes the distributed-tracing span ring. Instrumented
+// layers record session/event/lookup/upload spans into it; the same
+// trace IDs reappear in the cloud service's /v1/tracez after an upload
+// propagates them.
+func (m *Metrics) SpanBuffer() *obs.SpanBuffer {
+	if m == nil {
+		return nil
+	}
+	return m.spans
+}
+
+// Spans returns the retained spans, oldest first.
+func (m *Metrics) Spans() []obs.Span {
+	if m == nil {
+		return nil
+	}
+	return m.spans.Spans()
+}
+
+// WriteSpansJSON writes the retained spans as a JSON array.
+func (m *Metrics) WriteSpansJSON(w io.Writer) error { return m.spans.WriteJSON(w) }
 
 // WriteText writes the registry in Prometheus text exposition format.
 func (m *Metrics) WriteText(w io.Writer) error { return m.reg.WritePrometheus(w) }

@@ -54,6 +54,21 @@ func TestMetricsDoNotPerturbSessions(t *testing.T) {
 		if len(met.Chains()) == 0 {
 			t.Errorf("%s: tracer recorded no chains", scheme)
 		}
+		if len(met.Spans()) == 0 {
+			t.Errorf("%s: span buffer recorded no spans", scheme)
+		}
+		// Trace IDs are pure arithmetic on (game, scheme, seed): the
+		// bare and instrumented runs agree, and every recorded span
+		// belongs to the report's trace.
+		if bare.TraceID == "" || bare.TraceID != instrumented.TraceID {
+			t.Errorf("%s: trace IDs bare=%q instrumented=%q", scheme, bare.TraceID, instrumented.TraceID)
+		}
+		for _, sp := range met.Spans() {
+			if sp.Trace.String() != instrumented.TraceID {
+				t.Errorf("%s: span %s/%s outside session trace %s", scheme, sp.Trace, sp.Name, instrumented.TraceID)
+				break
+			}
+		}
 	}
 }
 
@@ -67,6 +82,8 @@ func TestMetricsDoNotPerturbFigures(t *testing.T) {
 
 	bareCfg, obsCfg := base, base
 	obsCfg.Obs = obs.NewRegistry()
+	obsCfg.Tracer = obs.NewTracer(obs.DefaultTracerCapacity)
+	obsCfg.Spans = obs.NewSpanBuffer(obs.DefaultTracerCapacity)
 
 	f2bare, err := experiments.Fig2EnergyBreakdown(bareCfg)
 	if err != nil {
@@ -90,6 +107,12 @@ func TestMetricsDoNotPerturbFigures(t *testing.T) {
 	}
 	if !reflect.DeepEqual(f4bare, f4obs) {
 		t.Error("Fig4 differs with Obs attached")
+	}
+	if obsCfg.Spans.Total() == 0 {
+		t.Error("figure runs recorded no spans despite Spans attached")
+	}
+	if obsCfg.Tracer.Total() == 0 {
+		t.Error("figure runs recorded no chains despite Tracer attached")
 	}
 
 	var sb strings.Builder
