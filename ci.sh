@@ -27,8 +27,8 @@ go test ./...
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./internal/cloud ./internal/obs .
 
-echo "== go test -race (fleet serving: shared table + device fleet)"
-go test -race ./internal/fleet ./internal/memo
+echo "== go test -race (fleet serving: shared table + device fleet + chaos)"
+go test -race ./internal/fleet ./internal/memo ./internal/chaos
 
 echo "== go test -race (tracing paths: span recording under concurrent drains)"
 go test -race -run 'Span|Trace|Healthz' ./internal/obs ./internal/cloud ./internal/fleet
@@ -38,6 +38,18 @@ go run ./cmd/fleetbench -devices 1,2 -sessions 1 -secs 5 -profile-sessions 2 \
 	-out /tmp/snip_bench_fleet_smoke.json
 go run ./cmd/fleetbench -validate /tmp/snip_bench_fleet_smoke.json
 rm -f /tmp/snip_bench_fleet_smoke.json
+
+echo "== fuzz smoke (ingest decoders must reject arbitrary bytes, never panic)"
+go test -run '^$' -fuzz '^FuzzDecodeBatch$' -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzDecodeEventsOnly$' -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzDecodeUpdate$' -fuzztime 5s ./internal/cloud
+
+echo "== chaos gate (all faults + mispredict guard under the race detector, zero panics)"
+go run -race ./cmd/fleetbench -chaos all -chaos-seed 7 -shadow-rate 0.25 \
+	-devices 4 -sessions 2 -secs 5 -profile-sessions 2 \
+	-out /tmp/snip_bench_chaos_gate.json
+go run ./cmd/fleetbench -validate /tmp/snip_bench_chaos_gate.json
+rm -f /tmp/snip_bench_chaos_gate.json
 
 echo "== allocation gate (memo lookup + metrics + span hot paths must stay 0 allocs/op)"
 alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|SharedLookupParallel|SharedLookupSpan|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord' \

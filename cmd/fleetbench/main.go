@@ -28,13 +28,21 @@ import (
 // benchFile is the BENCH_fleet.json schema. The ci.sh smoke gate runs a
 // short bench and then -validate, which checks exactly these fields.
 type benchFile struct {
-	Bench             string              `json:"bench"` // always "fleet"
-	Game              string              `json:"game"`
-	SessionsPerDevice int                 `json:"sessions_per_device"`
-	SessionSecs       int                 `json:"session_secs"`
-	BatchSize         int                 `json:"batch_size"`
-	GoMaxProcs        int                 `json:"gomaxprocs"`
-	Runs              []*snip.FleetReport `json:"runs"`
+	Bench             string `json:"bench"` // always "fleet"
+	Game              string `json:"game"`
+	SessionsPerDevice int    `json:"sessions_per_device"`
+	SessionSecs       int    `json:"session_secs"`
+	BatchSize         int    `json:"batch_size"`
+	GoMaxProcs        int    `json:"gomaxprocs"`
+	// Chaos names the fault-injection profile the sweep ran under (""
+	// or "off" = none); ChaosSeed its seed; ShadowRate the mispredict
+	// guard's sampling rate (0 = guard off). Validation relaxes the
+	// strict invariants for chaos runs: crashed devices legitimately
+	// play fewer sessions and corrupted uploads legitimately retry.
+	Chaos      string              `json:"chaos,omitempty"`
+	ChaosSeed  uint64              `json:"chaos_seed,omitempty"`
+	ShadowRate float64             `json:"shadow_rate,omitempty"`
+	Runs       []*snip.FleetReport `json:"runs"`
 }
 
 func main() {
@@ -45,6 +53,9 @@ func main() {
 	batch := flag.Int("batch", 2, "sessions per batched upload")
 	profileSessions := flag.Int("profile-sessions", 4, "training sessions for the initial table")
 	ota := flag.Bool("ota", true, "perform a live OTA rebuild+swap mid-run")
+	chaosProf := flag.String("chaos", "", "fault-injection profile: off|sensors|devices|wire|table|all")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
+	shadowRate := flag.Float64("shadow-rate", 0, "mispredict-guard shadow-verification sample rate (0 = guard off)")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS")
 	out := flag.String("out", "BENCH_fleet.json", "bench file to write")
 	metricsMode := flag.String("metrics", "", `dump the fleet-side metrics after the sweep: "text" (Prometheus exposition) or "json" (snapshot)`)
@@ -84,13 +95,15 @@ func main() {
 		Bench: "fleet", Game: *game,
 		SessionsPerDevice: *sessions, SessionSecs: *secs, BatchSize: *batch,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Chaos:      *chaosProf, ChaosSeed: *chaosSeed, ShadowRate: *shadowRate,
 	}
 	// One Metrics across the sweep: the snip_fleet_* series accumulate
 	// over every device count, and the span ring retains the tail of the
 	// last runs' traces.
 	met := snip.NewMetrics()
 	for _, n := range counts {
-		rep, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota, met)
+		rep, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
+			*chaosProf, *chaosSeed, *shadowRate, met)
 		fatalIf(err)
 		file.Runs = append(file.Runs, rep)
 		health := "healthy"
@@ -102,6 +115,18 @@ func main() {
 			n, rep.LookupsPerSec, rep.P50LookupNS, rep.P99LookupNS,
 			100*rep.HitRate, rep.UploadBytes, 100*rep.TransferSavings, rep.Swaps,
 			rep.Retries, health)
+		if rep.Chaos != nil || rep.Guard != nil {
+			line := fmt.Sprintf("          failed_devices=%d", rep.FailedDevices)
+			if rep.Chaos != nil {
+				line += fmt.Sprintf("  faults=%d (%s)", rep.Chaos.Total, rep.Chaos.Profile)
+			}
+			if rep.Guard != nil {
+				line += fmt.Sprintf("  guard: %d/%d mispredicts, trips=%d rollbacks=%d breaker_open=%v",
+					rep.Guard.Mispredicts, rep.Guard.ShadowChecks,
+					rep.Guard.Trips, rep.Guard.Rollbacks, rep.Guard.BreakerOpen)
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -123,7 +148,8 @@ func main() {
 // runOnce measures one device count against a fresh in-process cloud, so
 // sweep points don't feed each other's profiles.
 func runOnce(game string, table *snip.Table, devices, sessions int,
-	dur time.Duration, batch int, ota bool, met *snip.Metrics) (*snip.FleetReport, error) {
+	dur time.Duration, batch int, ota bool,
+	chaosProf string, chaosSeed uint64, shadowRate float64, met *snip.Metrics) (*snip.FleetReport, error) {
 	svc := snip.NewCloudService(snip.DefaultPFIOptions())
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -144,6 +170,12 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 	if ota {
 		// One live rebuild+swap once half the fleet's sessions are in.
 		opts.RefreshAfterSessions = (devices*sessions + 1) / 2
+	}
+	if chaosProf != "" && chaosProf != "off" {
+		opts.Chaos = &snip.ChaosOptions{Profile: chaosProf, Seed: chaosSeed}
+	}
+	if shadowRate > 0 {
+		opts.Guard = &snip.GuardOptions{ShadowSampleRate: shadowRate}
 	}
 	return snip.RunFleet(opts)
 }
@@ -183,20 +215,47 @@ func validateFile(path string) error {
 	if len(f.Runs) == 0 {
 		return fmt.Errorf("no runs")
 	}
+	chaotic := f.Chaos != "" && f.Chaos != "off"
 	for i, r := range f.Runs {
+		if chaotic {
+			// Under fault injection crashed devices legitimately play fewer
+			// sessions, and wire corruption perturbs the upload accounting —
+			// check consistency rather than the strict clean-run invariants.
+			switch {
+			case r.Sessions > r.Devices*f.SessionsPerDevice:
+				return fmt.Errorf("run %d: sessions %d exceed devices %d * %d", i, r.Sessions, r.Devices, f.SessionsPerDevice)
+			case r.Sessions < r.Devices*f.SessionsPerDevice && r.FailedDevices == 0:
+				return fmt.Errorf("run %d: session shortfall without failed devices", i)
+			case r.FailedDevices > r.Devices:
+				return fmt.Errorf("run %d: %d failed devices out of %d", i, r.FailedDevices, r.Devices)
+			}
+		} else {
+			switch {
+			case r.Sessions != r.Devices*f.SessionsPerDevice:
+				return fmt.Errorf("run %d: sessions %d != devices %d * %d", i, r.Sessions, r.Devices, f.SessionsPerDevice)
+			case r.FailedDevices != 0:
+				return fmt.Errorf("run %d: %d failed devices without chaos", i, r.FailedDevices)
+			case r.Batches > 0 && r.UploadBytes >= r.RawUploadBytes:
+				return fmt.Errorf("run %d: batching saved nothing (%dB wire vs %dB raw)", i, r.UploadBytes, r.RawUploadBytes)
+			}
+		}
 		switch {
-		case r.Sessions != r.Devices*f.SessionsPerDevice:
-			return fmt.Errorf("run %d: sessions %d != devices %d * %d", i, r.Sessions, r.Devices, f.SessionsPerDevice)
 		case r.Lookups <= 0 || r.Events <= 0:
 			return fmt.Errorf("run %d: no lookups served", i)
 		case r.LookupsPerSec <= 0:
 			return fmt.Errorf("run %d: missing lookups/sec", i)
 		case r.P50LookupNS <= 0 || r.P99LookupNS < r.P50LookupNS:
 			return fmt.Errorf("run %d: bad latency estimates p50=%d p99=%d", i, r.P50LookupNS, r.P99LookupNS)
-		case r.Batches > 0 && r.UploadBytes >= r.RawUploadBytes:
-			return fmt.Errorf("run %d: batching saved nothing (%dB wire vs %dB raw)", i, r.UploadBytes, r.RawUploadBytes)
 		}
-		if err := validateHealth(i, r); err != nil {
+		if f.ShadowRate > 0 {
+			if r.Guard == nil {
+				return fmt.Errorf("run %d: shadow rate %.2f but no guard report", i, f.ShadowRate)
+			}
+			if r.Guard.Trips > 0 && r.Guard.Mispredicts == 0 {
+				return fmt.Errorf("run %d: guard tripped with zero mispredicts", i)
+			}
+		}
+		if err := validateHealth(i, r, chaotic); err != nil {
 			return err
 		}
 	}
@@ -204,7 +263,9 @@ func validateFile(path string) error {
 }
 
 // validateHealth checks the health/SLO section every run must carry.
-func validateHealth(i int, r *snip.FleetReport) error {
+// Chaos runs are allowed to be degraded — that is the point of injecting
+// faults — but the report must still be internally consistent.
+func validateHealth(i int, r *snip.FleetReport, chaotic bool) error {
 	h := r.Health
 	switch {
 	case h == nil:
@@ -218,12 +279,24 @@ func validateHealth(i int, r *snip.FleetReport) error {
 	case h.P99LookupNS != r.P99LookupNS:
 		return fmt.Errorf("run %d: health p99 %d != run p99 %d", i, h.P99LookupNS, r.P99LookupNS)
 	}
+	failedInHealth := 0
+	for _, d := range h.Devices {
+		if d.Failed {
+			failedInHealth++
+		}
+	}
+	if failedInHealth != r.FailedDevices {
+		return fmt.Errorf("run %d: health marks %d failed devices, report says %d", i, failedInHealth, r.FailedDevices)
+	}
 	for _, v := range h.Verdicts {
 		if v.Name == "" {
 			return fmt.Errorf("run %d: unnamed SLO verdict", i)
 		}
 		if !v.OK && v.Detail == "" {
 			return fmt.Errorf("run %d: failing verdict %q carries no detail", i, v.Name)
+		}
+		if !chaotic && !v.OK && v.Name == "failed_devices" {
+			return fmt.Errorf("run %d: failed-devices verdict failing without chaos", i)
 		}
 	}
 	return nil

@@ -33,6 +33,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8370", "listen address")
 	metricsMode := flag.String("metrics", "", "dump collected metrics to stderr at exit: text (Prometheus) | json")
+	drain := flag.Duration("drain", 5*time.Second, "how long to let in-flight uploads finish on SIGINT/SIGTERM")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -59,8 +60,8 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		logger.Info("shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		logger.Info("shutting down", "drain", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			logger.Error("shutdown failed", "err", err)

@@ -28,6 +28,7 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "serve the built table to N concurrent devices and report lookup rates (snip scheme only)")
 	list := flag.Bool("list", false, "list game workloads and exit")
 	check := flag.Bool("check", true, "shadow-check short-circuit correctness (snip only)")
+	shadowRate := flag.Float64("shadow-rate", 0, "sampled shadow-verification rate for memo hits, 0..1 (snip only; needs -check=false, which verifies every hit)")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS (or $SNIP_WORKERS)")
 	metricsMode := flag.String("metrics", "", "dump collected metrics at exit: text (Prometheus) | json")
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 		Duration:         time.Duration(*secs) * time.Second,
 		Scheme:           snip.Scheme(*scheme),
 		CheckCorrectness: *check,
+		ShadowSampleRate: *shadowRate,
 	}
 	var met *snip.Metrics
 	if *metricsMode != "" {
@@ -133,6 +135,10 @@ func main() {
 		fmt.Printf("short-circuited: %d events, %.1f%% of execution\n",
 			rep.ShortCircuited, 100*rep.Coverage)
 		fmt.Printf("lookup overhead: %.1f%% of energy\n", 100*rep.LookupOverheadFraction)
+		if *shadowRate > 0 {
+			fmt.Printf("shadow checks:   %d (%d mispredicts)\n",
+				rep.Guard.ShadowChecks, rep.Guard.Mispredicts)
+		}
 		if rep.ErrorFields.Predicted > 0 {
 			fmt.Printf("served fields:   %d (errors: %d temp, %d history, %d extern)\n",
 				rep.ErrorFields.Predicted, rep.ErrorFields.Temp,

@@ -3,6 +3,7 @@ package snip
 import (
 	"time"
 
+	"snip/internal/chaos"
 	"snip/internal/cloud"
 	"snip/internal/fleet"
 	"snip/internal/memo"
@@ -27,14 +28,25 @@ func NewSharedTable(t *Table) *SharedTable {
 }
 
 // Publish freezes and atomically swaps in a new table, returning the new
-// version number.
+// generation number. The displaced table is retained for one Rollback.
 func (s *SharedTable) Publish(t *Table) int64 { return s.s.Swap(t.t) }
 
-// Version returns the published table's version (0 when empty).
+// Version returns the number of publications so far (0 when empty). It
+// is monotonic even across rollbacks.
 func (s *SharedTable) Version() int64 { return s.s.Version() }
+
+// Generation returns the generation of the table currently being served
+// — equal to Version until a Rollback restores an older one.
+func (s *SharedTable) Generation() int64 { return s.s.Generation() }
 
 // Swaps returns how many live replacements have happened.
 func (s *SharedTable) Swaps() int64 { return s.s.Swaps() }
+
+// Rollback re-publishes the table displaced by the last Publish — the
+// remedy for a bad OTA push. It reports the restored generation, or
+// false when there is nothing retained to restore (never published
+// twice, or the retained table was already consumed by a rollback).
+func (s *SharedTable) Rollback() (int64, bool) { return s.s.Rollback() }
 
 // FleetOptions configures a device-fleet serving run: N concurrent
 // simulated devices playing workload-generated sessions against one
@@ -68,6 +80,59 @@ type FleetOptions struct {
 	// batch-upload granularity) in its span buffer — with exemplar trace
 	// IDs attached to the lookup-latency histogram.
 	Metrics *Metrics
+	// Chaos, when non-nil with a profile other than "off", injects
+	// deterministic faults into the run (sensor glitches, device
+	// crashes/stalls, wire corruption, poisoned OTA tables). Nil means no
+	// fault injection and a byte-identical run.
+	Chaos *ChaosOptions
+	// Guard, when non-nil with a positive ShadowSampleRate, enables the
+	// mispredict guard: sampled shadow verification of memo hits, a
+	// circuit breaker on the mispredict ratio, and automatic rollback of
+	// a bad OTA table. Nil disables.
+	Guard *GuardOptions
+}
+
+// ChaosOptions selects a fault-injection profile for a fleet run.
+type ChaosOptions struct {
+	// Profile is one of "off", "sensors", "devices", "wire", "table",
+	// "all". Empty means off.
+	Profile string
+	// Seed roots every fault decision; the same profile and seed replay
+	// the same faults. 0 uses a fixed default.
+	Seed uint64
+}
+
+// GuardOptions tunes the fleet's mispredict guard. Zero thresholds fall
+// back to the defaults (trip past a 2% mispredict ratio, judge a table
+// generation only after 20 shadow checks).
+type GuardOptions struct {
+	// ShadowSampleRate is the fraction of memo hits shadow-verified.
+	// <= 0 disables the guard.
+	ShadowSampleRate float64
+	// MaxMispredictRatio trips the circuit breaker.
+	MaxMispredictRatio float64
+	// MinShadowSamples is the evidence floor before a generation can trip.
+	MinShadowSamples int64
+}
+
+// FleetGuardReport summarizes the mispredict guard's run: how many hits
+// were shadow-verified, how many served wrong outputs, and whether the
+// breaker tripped and the table rolled back.
+type FleetGuardReport struct {
+	ShadowChecks       int64   `json:"shadow_checks"`
+	Mispredicts        int64   `json:"mispredicts"`
+	Trips              int64   `json:"trips"`
+	Rollbacks          int64   `json:"rollbacks"`
+	BreakerOpen        bool    `json:"breaker_open"`
+	TrippedGenerations []int64 `json:"tripped_generations,omitempty"`
+}
+
+// FleetChaosReport summarizes the faults a chaos profile injected.
+type FleetChaosReport struct {
+	Profile string           `json:"profile"`
+	Seed    uint64           `json:"seed"`
+	Total   int64            `json:"total"`
+	Counts  map[string]int64 `json:"counts,omitempty"`
 }
 
 // FleetSLOVerdict is one health threshold comparison.
@@ -86,6 +151,7 @@ type FleetDeviceHealth struct {
 	SavedInstr  int64   `json:"saved_instr"`
 	P99LookupNS int64   `json:"p99_lookup_ns"`
 	Retries     int     `json:"retries"`
+	Failed      bool    `json:"failed,omitempty"`
 }
 
 // FleetHealth is the run judged against the fleet SLO envelope: hit-rate
@@ -124,11 +190,23 @@ type FleetReport struct {
 
 	Swaps        int64 `json:"swaps"`
 	TableVersion int64 `json:"table_version"`
+	// TableGeneration is the generation served at the end — below
+	// TableVersion when the guard rolled a bad OTA push back.
+	TableGeneration int64 `json:"table_generation"`
+	// Rollbacks counts guard-triggered table restorations.
+	Rollbacks int64 `json:"rollbacks"`
 
 	// Retries counts transport retries across every device's uploads.
 	Retries int `json:"retries"`
+	// FailedDevices counts devices that died mid-run and were isolated
+	// (their partial tallies still count; the run itself never aborts).
+	FailedDevices int `json:"failed_devices"`
 	// Health is the SLO judgment of the run. Always set.
 	Health *FleetHealth `json:"health"`
+	// Guard reports the mispredict guard (nil when disabled).
+	Guard *FleetGuardReport `json:"guard,omitempty"`
+	// Chaos reports injected faults (nil when chaos was off).
+	Chaos *FleetChaosReport `json:"chaos,omitempty"`
 }
 
 // RunFleet executes a fleet serving run and reports its aggregate rates.
@@ -156,9 +234,30 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	if o.Table != nil {
 		cfg.Table = o.Table.s
 	}
+	var inj *chaos.Injector
+	if o.Chaos != nil && o.Chaos.Profile != "" && o.Chaos.Profile != "off" {
+		prof, err := chaos.Named(o.Chaos.Profile)
+		if err != nil {
+			return nil, err
+		}
+		prof.Seed = o.Chaos.Seed
+		inj = chaos.New(prof)
+		cfg.Chaos = inj
+	}
+	if o.Guard != nil && o.Guard.ShadowSampleRate > 0 {
+		cfg.Guard = &fleet.GuardConfig{
+			ShadowSampleRate:   o.Guard.ShadowSampleRate,
+			MaxMispredictRatio: o.Guard.MaxMispredictRatio,
+			MinShadowSamples:   o.Guard.MinShadowSamples,
+		}
+	}
 	if o.CloudURL != "" {
 		cfg.Client = cloud.NewClient(o.CloudURL)
 		cfg.Client.SetMetrics(o.Metrics.Registry())
+		// Wire chaos lives on the client's transport: every upload, rebuild
+		// and table fetch crosses the faulty link. Nil-safe no-op when the
+		// profile has no wire faults.
+		cfg.Client.HTTP.Transport = inj.Transport(cfg.Client.HTTP.Transport)
 	}
 	r, err := fleet.Run(cfg)
 	if err != nil {
@@ -184,11 +283,41 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		RawUploadBytes:  r.RawBytes.Bytes(),
 		TransferSavings: r.TransferSavings(),
 
-		Swaps:        r.Swaps,
-		TableVersion: r.TableVersion,
-		Retries:      r.Retries,
-		Health:       healthReport(r.Health),
+		Swaps:           r.Swaps,
+		TableVersion:    r.TableVersion,
+		TableGeneration: r.TableGeneration,
+		Rollbacks:       r.Rollbacks,
+		Retries:         r.Retries,
+		FailedDevices:   r.FailedDevices,
+		Health:          healthReport(r.Health),
+		Guard:           guardReport(r.Guard),
+		Chaos:           chaosReport(inj),
 	}, nil
+}
+
+// guardReport mirrors the internal guard summary into the public type.
+func guardReport(g *fleet.GuardReport) *FleetGuardReport {
+	if g == nil {
+		return nil
+	}
+	return &FleetGuardReport{
+		ShadowChecks:       g.ShadowChecks,
+		Mispredicts:        g.Mispredicts,
+		Trips:              g.Trips,
+		Rollbacks:          g.Rollbacks,
+		BreakerOpen:        g.BreakerOpen,
+		TrippedGenerations: g.TrippedGenerations,
+	}
+}
+
+// chaosReport mirrors the injector's fault tallies into the public type.
+func chaosReport(inj *chaos.Injector) *FleetChaosReport {
+	if inj == nil {
+		return nil
+	}
+	c := inj.Counts()
+	p := inj.Profile()
+	return &FleetChaosReport{Profile: p.Name, Seed: p.Seed, Total: c.Total(), Counts: c.Map()}
 }
 
 // healthReport mirrors the internal health snapshot into the public,

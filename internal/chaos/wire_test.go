@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"snip/internal/trace"
+)
+
+// TestBombBodyTripsDecodedCap: the injected bomb must be syntactically
+// valid (magic, gzip, CRC) and die ONLY at the decoded-size cap — that
+// is the attack it simulates.
+func TestBombBodyTripsDecodedCap(t *testing.T) {
+	bomb := bombBody()
+	if len(bomb) > 1<<20 {
+		t.Fatalf("bomb is %d bytes on the wire; it must fit under compressed-size caps", len(bomb))
+	}
+	_, err := trace.DecodeBatchLimit(bytes.NewReader(bomb), 32<<20)
+	if !errors.Is(err, trace.ErrBatchTooLarge) {
+		t.Fatalf("bomb under a 32 MiB cap got %v, want ErrBatchTooLarge", err)
+	}
+	if !errors.Is(err, trace.ErrBatchChecksum) {
+		// Checksum must be VALID — the bomb is not supposed to be caught
+		// by the CRC, or the decoded cap goes untested.
+		if strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("bomb failed the checksum, not the cap: %v", err)
+		}
+	}
+}
+
+// TestTransportFaults drives the fault transport against a recording
+// server: synthetic 503s never reach it, corrupted bodies arrive
+// corrupted, and with no wire faults the base transport passes through
+// untouched.
+func TestTransportFaults(t *testing.T) {
+	var got [][]byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got = append(got, b)
+	}))
+	defer srv.Close()
+
+	if tr := New(Profile{Seed: 1}).Transport(http.DefaultTransport); tr != http.DefaultTransport {
+		t.Fatal("faultless profile wrapped the transport")
+	}
+
+	inj := New(Profile{Seed: 1, Wire5xxRate: 1.0})
+	client := &http.Client{Transport: inj.Transport(nil)}
+	resp, err := client.Post(srv.URL, "application/octet-stream", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want injected 503", resp.StatusCode)
+	}
+	if len(got) != 0 {
+		t.Fatal("synthetic 503 let the request reach the server")
+	}
+	if inj.Counts().Wire5xx != 1 {
+		t.Fatal("503 not counted")
+	}
+
+	inj = New(Profile{Seed: 1, WireBitFlipRate: 1.0})
+	client = &http.Client{Transport: inj.Transport(nil)}
+	body := []byte("SNIPBTCH1 this body will be flipped")
+	resp, err = client.Post(srv.URL, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got) != 1 || bytes.Equal(got[0], body) {
+		t.Fatalf("bit-flip fault delivered the body unmodified (%d requests)", len(got))
+	}
+	if len(got[0]) != len(body) {
+		t.Fatal("bit flip changed the body length")
+	}
+	if inj.Counts().WireBitFlipped != 1 {
+		t.Fatal("flip not counted")
+	}
+
+	inj = New(Profile{Seed: 1, WireTruncateRate: 1.0})
+	client = &http.Client{Transport: inj.Transport(nil)}
+	resp, err = client.Post(srv.URL, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got) != 2 || len(got[1]) != len(body)/2 {
+		t.Fatalf("truncate fault delivered %d bytes, want %d", len(got[len(got)-1]), len(body)/2)
+	}
+}

@@ -1,0 +1,40 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+
+	"snip/internal/memo"
+	"snip/internal/trace"
+)
+
+// FuzzDecodeUpdate hammers the OTA table decoder — the bytes a device
+// trusts enough to short-circuit its event handlers — with arbitrary
+// input. It must error cleanly, never panic.
+func FuzzDecodeUpdate(f *testing.F) {
+	tab := memo.NewSnipTable(memo.Selection{})
+	tab.Insert(&trace.Record{
+		EventType: "touch", EventHash: 0x1234,
+		Outputs: []trace.Field{{Name: "x", Category: trace.OutHistory, Size: 8, Value: 7}},
+	})
+	tab.Freeze()
+	var buf bytes.Buffer
+	if err := EncodeUpdate(&buf, &TableUpdate{Game: "Colorphun", Version: 3, Table: tab}); err != nil {
+		f.Fatal(err)
+	}
+	wire := buf.Bytes()
+	f.Add(wire)
+	f.Add(wire[:len(wire)/2])
+	flipped := bytes.Clone(wire)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		up, err := DecodeUpdate(bytes.NewReader(data))
+		if err == nil && (up == nil || up.Table == nil) {
+			t.Fatal("nil update with nil error")
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -12,6 +13,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -45,12 +47,27 @@ type Service struct {
 	mu        sync.Mutex
 	cfg       pfi.Config
 	profilers map[string]*Profiler
+	guards    map[string]GuardStatus
 	reg       *obs.Registry
 	met       *serviceMetrics
 	spans     *obs.SpanBuffer
 	started   time.Time
 	log       *slog.Logger
 }
+
+// Ingest body limits: requests are bounded before any decode work, so a
+// hostile or corrupted upload costs a bounded read, never an unbounded
+// allocation. The decoded cap is what stops a gzip bomb — a few-KiB
+// compressed body that inflates to tens of MiB dies at the cap with a
+// 413, not in the gob decoder's allocator.
+const (
+	// MaxUploadBytes bounds a single-session events-only upload.
+	MaxUploadBytes = 4 << 20
+	// MaxBatchBytes bounds a batch upload's compressed body.
+	MaxBatchBytes = 8 << 20
+	// MaxBatchDecodedBytes bounds the batch's decompressed size.
+	MaxBatchDecodedBytes = 32 << 20
+)
 
 // serviceMetrics holds the cloud-side series: business counters plus
 // per-endpoint request accounting fed by the latency middleware.
@@ -62,6 +79,10 @@ type serviceMetrics struct {
 	rebuilds     *obs.Counter
 	rebuildFails *obs.Counter
 	tablesServed *obs.Counter
+	// Deterministic ingest rejections: corrupt bodies (checksum/parse)
+	// and oversized ones (body or decoded-size cap).
+	rejectedCorrupt  *obs.Counter
+	rejectedOversize *obs.Counter
 
 	requests  map[string]*obs.Counter   // by endpoint
 	errors    map[string]*obs.Counter   // by endpoint, status >= 400
@@ -71,7 +92,7 @@ type serviceMetrics struct {
 
 // endpoints the middleware tracks; fixed so every series exists from
 // the first scrape rather than appearing after first use.
-var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics", "healthz", "tracez"}
+var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics", "healthz", "tracez", "guard"}
 
 // ingestEndpoints are the ones whose error rate feeds the /v1/healthz
 // verdict — the data-path endpoints, not the introspection ones.
@@ -86,10 +107,14 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		rebuilds:     reg.Counter("snip_cloud_rebuilds_total", "PFI rebuilds completed"),
 		rebuildFails: reg.Counter("snip_cloud_rebuild_failures_total", "PFI rebuilds that errored"),
 		tablesServed: reg.Counter("snip_cloud_tables_served_total", "OTA table downloads served"),
-		requests:     make(map[string]*obs.Counter, len(endpointNames)),
-		errors:       make(map[string]*obs.Counter, len(endpointNames)),
-		latencyNS:    make(map[string]*obs.Histogram, len(endpointNames)),
-		spanNames:    make(map[string]string, len(endpointNames)),
+		rejectedCorrupt: reg.Counter("snip_cloud_uploads_rejected_corrupt_total",
+			"uploads rejected for failing the checksum or parse"),
+		rejectedOversize: reg.Counter("snip_cloud_uploads_rejected_oversize_total",
+			"uploads rejected for exceeding a body or decoded-size cap"),
+		requests:  make(map[string]*obs.Counter, len(endpointNames)),
+		errors:    make(map[string]*obs.Counter, len(endpointNames)),
+		latencyNS: make(map[string]*obs.Histogram, len(endpointNames)),
+		spanNames: make(map[string]string, len(endpointNames)),
 	}
 	for _, ep := range endpointNames {
 		m.requests[ep] = reg.Counter(
@@ -112,6 +137,7 @@ func NewService(cfg pfi.Config) *Service {
 	return &Service{
 		cfg:       cfg,
 		profilers: make(map[string]*Profiler),
+		guards:    make(map[string]GuardStatus),
 		reg:       reg,
 		met:       newServiceMetrics(reg),
 		spans:     obs.NewSpanBuffer(obs.DefaultTracerCapacity),
@@ -198,6 +224,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/tracez", s.instrument("tracez", s.handleTracez))
+	mux.HandleFunc("POST /v1/guard", s.instrument("guard", s.handleGuard))
 	// net/http/pprof, wired explicitly (the service never touches the
 	// DefaultServeMux): CPU/heap/goroutine/block profiles for debugging
 	// a live profiler under fleet load.
@@ -275,6 +302,32 @@ func (s *Service) Healthz() healthzReply {
 	if !rebuildOK {
 		reply.Status = "degraded"
 	}
+	// Fleet guard reports: an open breaker anywhere means some fleet is
+	// serving without short-circuiting — degraded until it reports
+	// recovery (rollback done, breaker closed).
+	s.mu.Lock()
+	guardGames := make([]string, 0, len(s.guards))
+	for game := range s.guards {
+		guardGames = append(guardGames, game)
+	}
+	sort.Strings(guardGames)
+	guards := make(map[string]GuardStatus, len(guardGames))
+	for _, game := range guardGames {
+		guards[game] = s.guards[game]
+	}
+	s.mu.Unlock()
+	for _, game := range guardGames {
+		st := guards[game]
+		ok := !st.BreakerOpen
+		reply.Checks = append(reply.Checks, healthCheck{
+			Name: "guard_breaker_" + game, OK: ok, Value: st.MispredictRatio(), Threshold: 0,
+			Detail: fmt.Sprintf("%d mispredicts in %d checks, %d trips, %d rollbacks, generation %d",
+				st.Mispredicts, st.ShadowChecks, st.Trips, st.Rollbacks, st.Generation),
+		})
+		if !ok {
+			reply.Status = "degraded"
+		}
+	}
 	return reply
 }
 
@@ -349,8 +402,15 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad seed: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	log, err := trace.DecodeEventsOnly(r.Body)
+	log, err := trace.DecodeEventsOnly(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.rejectedOversize.Inc()
+			http.Error(w, "log too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		s.met.rejectedCorrupt.Inc()
 		http.Error(w, "bad log: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -375,13 +435,29 @@ func (s *Service) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.rejectedOversize.Inc()
+			http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	batch, err := trace.DecodeBatch(bytes.NewReader(body))
+	batch, err := trace.DecodeBatchLimit(bytes.NewReader(body), MaxBatchDecodedBytes)
 	if err != nil {
+		if errors.Is(err, trace.ErrBatchTooLarge) {
+			// A valid gzip stream whose decompressed size blew the cap:
+			// the gzip-bomb signature.
+			s.met.rejectedOversize.Inc()
+			http.Error(w, "batch decoded size exceeds limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		// Checksum mismatches and parse failures are one deterministic
+		// family: the body that arrived is not the body that was sent.
+		s.met.rejectedCorrupt.Inc()
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}

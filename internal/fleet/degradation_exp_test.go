@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"snip/internal/chaos"
+	"snip/internal/memo"
+)
+
+// TestDegradationSweep prints the EXPERIMENTS.md degradation table.
+// Run manually: go test -run TestDegradationSweep -v ./internal/fleet
+func TestDegradationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment, not a gate")
+	}
+	_, srv, _, table := bootCloud(t)
+	srv.Close()
+
+	fmt.Println("--- poison sweep (guard rate 1.0, trip >5% after 5 samples) ---")
+	for _, rate := range []float64{0, 0.10, 0.25, 0.50, 1.0} {
+		shared := memo.NewShared(table)
+		if rate > 0 {
+			inj := chaos.New(chaos.Profile{Name: "table", Seed: 7, TablePoisonRate: rate})
+			poisoned, _ := inj.MaybePoisonTable(table)
+			shared.Swap(poisoned)
+		}
+		res, err := Run(Config{
+			Game: testGame, Devices: 4, SessionsPerDevice: 2,
+			SessionDuration: testDur, SeedBase: 5000,
+			Table: shared,
+			Guard: &GuardConfig{ShadowSampleRate: 1.0, MaxMispredictRatio: 0.05, MinShadowSamples: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := res.Guard
+		fmt.Printf("poison=%.2f hit=%.3f checks=%d misp=%d ratio=%.3f trips=%d rollbacks=%d open=%v gen=%d savedInstr=%d\n",
+			rate, res.Lookup.HitRate(), g.ShadowChecks, g.Mispredicts, g.MispredictRatio(),
+			g.Trips, g.Rollbacks, g.BreakerOpen, res.TableGeneration, savedInstr(res))
+	}
+
+	fmt.Println("--- sensor sweep (no guard) ---")
+	for _, rate := range []float64{0, 0.05, 0.20, 0.50} {
+		var inj *chaos.Injector
+		if rate > 0 {
+			inj = chaos.New(chaos.Profile{
+				Name: "sensors", Seed: 7,
+				SensorDropRate: rate, SensorDupRate: rate,
+				SensorStuckRate: rate / 2, SensorOutOfOrderRate: rate / 2,
+			})
+		}
+		res, err := Run(Config{
+			Game: testGame, Devices: 4, SessionsPerDevice: 2,
+			SessionDuration: testDur, SeedBase: 5000,
+			Table: memo.NewShared(table), Chaos: inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := int64(0)
+		if inj != nil {
+			total = inj.Counts().Total()
+		}
+		fmt.Printf("sensor=%.2f events=%d hit=%.3f faults=%d savedInstr=%d\n",
+			rate, res.Events, res.Lookup.HitRate(), total, savedInstr(res))
+	}
+}
+
+func savedInstr(res *Result) int64 {
+	var n int64
+	for _, d := range res.PerDevice {
+		n += d.SavedInstr
+	}
+	return n
+}

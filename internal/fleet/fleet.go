@@ -32,11 +32,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"snip/internal/chaos"
 	"snip/internal/cloud"
 	"snip/internal/events"
 	"snip/internal/games"
 	"snip/internal/memo"
 	"snip/internal/obs"
+	"snip/internal/rng"
 	"snip/internal/schemes"
 	"snip/internal/trace"
 	"snip/internal/units"
@@ -89,6 +91,18 @@ type Config struct {
 	// SLO overrides the health thresholds the run is judged against.
 	// Nil uses DefaultSLOConfig.
 	SLO *SLOConfig
+
+	// Chaos, when non-nil, injects deterministic sensor, device, and
+	// table faults into the run (wire faults are injected one layer up,
+	// on the cloud client's transport). Nil means no chaos and no code
+	// path even touches the injector.
+	Chaos *chaos.Injector
+	// Guard, when non-nil with a positive ShadowSampleRate, enables the
+	// sampled mispredict guard: shadow verification of memo hits, the
+	// circuit breaker, and automatic table rollback. Nil disables — and a
+	// disabled guard draws no randomness, so unguarded runs are
+	// byte-identical to builds without the guard.
+	Guard *GuardConfig
 }
 
 func (c Config) validate() error {
@@ -177,6 +191,12 @@ type DeviceResult struct {
 	Retries int `json:"retries"`
 	// P99LookupNS is the device's own p99 probe latency estimate.
 	P99LookupNS int64 `json:"p99_lookup_ns"`
+	// Failed marks a device that died mid-run (injected crash or a
+	// terminal upload error). The coordinator isolates it — its tallies
+	// up to the failure still count — and the run continues.
+	Failed bool `json:"failed,omitempty"`
+	// FailReason says why (empty for healthy devices).
+	FailReason string `json:"fail_reason,omitempty"`
 }
 
 // Result aggregates a fleet run.
@@ -208,11 +228,24 @@ type Result struct {
 	// the run (swaps performed during it, version at the end).
 	Swaps        int64 `json:"swaps"`
 	TableVersion int64 `json:"table_version"`
+	// TableGeneration is the generation actually being served at the end
+	// — equal to TableVersion unless the guard rolled a bad swap back.
+	TableGeneration int64 `json:"table_generation"`
+	// Rollbacks counts guard-triggered table restorations during the run.
+	Rollbacks int64 `json:"rollbacks"`
 
 	// Retries counts transport retries across every device's uploads.
 	Retries int `json:"retries"`
 
+	// FailedDevices counts devices that died mid-run and were isolated.
+	FailedDevices int `json:"failed_devices"`
+
 	PerDevice []DeviceResult `json:"per_device,omitempty"`
+
+	// Guard reports the mispredict guard (nil when disabled); Chaos the
+	// injected-fault tallies (nil when no injector was configured).
+	Guard *GuardReport  `json:"guard,omitempty"`
+	Chaos *chaos.Counts `json:"chaos,omitempty"`
 
 	// Health is the run judged against the SLO envelope (Config.SLO or
 	// DefaultSLOConfig). Always set by Run.
@@ -237,6 +270,7 @@ type fleetMetrics struct {
 	batches  *obs.Counter
 	bytes    *obs.Counter
 	swaps    *obs.Counter
+	failures *obs.Counter
 	lookupNS *obs.Histogram
 }
 
@@ -249,6 +283,7 @@ func newFleetMetrics(reg *obs.Registry) fleetMetrics {
 		batches:  reg.Counter("snip_fleet_upload_batches_total", "batched uploads sent by the fleet"),
 		bytes:    reg.Counter("snip_fleet_upload_bytes_total", "compressed bytes the fleet put on the wire"),
 		swaps:    reg.Counter("snip_fleet_table_swaps_total", "live OTA table swaps observed by the fleet"),
+		failures: reg.Counter("snip_fleet_device_failures_total", "devices that died mid-run and were isolated"),
 		lookupNS: reg.Histogram("snip_fleet_lookup_ns", "shared-table probe wall time in nanoseconds", obs.NanoBuckets()),
 	}
 }
@@ -260,6 +295,7 @@ type coordinator struct {
 	salt     uint64       // trace-ID salt, fixed per run: HashName("fleet/"+Game)
 	uploaded atomic.Int64 // sessions confirmed ingested by the cloud
 	refresh  atomic.Bool  // OTA refresh claimed
+	guard    *guard       // nil when the mispredict guard is disabled
 }
 
 // sessionCtx derives the deterministic root span context for a session
@@ -287,8 +323,15 @@ func (co *coordinator) maybeRefresh() error {
 	if err != nil {
 		return fmt.Errorf("fleet: ota fetch: %w", err)
 	}
-	co.cfg.Table.Swap(up.Table)
+	tab := up.Table
+	// Table chaos corrupts the fetched copy before it is published — the
+	// "bad OTA push" the guard loop exists to catch and roll back.
+	if poisoned, n := co.cfg.Chaos.MaybePoisonTable(tab); n > 0 {
+		tab = poisoned
+	}
+	co.cfg.Table.Swap(tab)
 	co.met.swaps.Inc()
+	co.guard.onSwap()
 	return nil
 }
 
@@ -343,6 +386,15 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		batch = 1
 	}
 	for s := 0; s < cfg.SessionsPerDevice; s++ {
+		// Device chaos: a stalled device just runs late; a crashed one
+		// returns — the coordinator isolates it and the run continues.
+		crash, stall := cfg.Chaos.SessionFaults(id, s)
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		if crash {
+			return res, hist, fmt.Errorf("fleet: device %d session %d: %w", id, s, chaos.ErrDeviceCrash)
+		}
 		seed := cfg.SeedBase + uint64(id*cfg.SessionsPerDevice+s)
 		log, err := co.session(game, gen, seed, &res, hist)
 		if err != nil {
@@ -373,6 +425,10 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 	sessionStart := time.Now()
 	game.Reset(seed)
 	stream := gen.Generate(seed, cfg.SessionDuration)
+	// Sensor chaos perturbs the generated stream (drop/dup/stuck readings,
+	// recovered out-of-order injections) before event synthesis — exactly
+	// where a flaky sensor hub would corrupt a real device's input.
+	stream = cfg.Chaos.PerturbStream(seed, stream)
 	synthCfg := events.DefaultSynthesizerConfig()
 	// Same per-session frame-counter base as schemes.Run, so a fleet
 	// session's events match a schemes session's for the same seed.
@@ -393,6 +449,13 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 	for _, t := range game.Types() {
 		handled[t] = true
 	}
+	// The guard's sampling stream is split off the session seed — private
+	// to this session, deterministic, and never created when the guard is
+	// off (zero perturbation of unguarded runs).
+	var shadowSrc *rng.Source
+	if co.guard != nil {
+		shadowSrc = rng.New(seed ^ 0x5348414457475244) // "SHADWGRD"
+	}
 	var st memo.LookupStats
 	for _, e := range evs {
 		if !handled[e.Type] {
@@ -405,8 +468,11 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 				Values: append([]int64(nil), e.Values...),
 			})
 		}
-		tab := cfg.Table.Load()
-		if tab == nil {
+		tab, tabGen := cfg.Table.LoadGen()
+		if tab == nil || co.guard.isOpen() {
+			// No table yet, or the breaker judged the current one unsafe:
+			// execute the handler in full. Always correct, never efficient
+			// — the fail-safe side of the trade.
 			game.Process(e)
 			continue
 		}
@@ -427,6 +493,13 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 		co.met.lookupNS.ObserveExemplar(ns, sc.Trace)
 		st.Observe(probes, cmpBytes, hit)
 		if hit {
+			if shadowSrc != nil && shadowSrc.Bool(co.guard.cfg.ShadowSampleRate) {
+				// Sampled shadow verification: run the real handler on a
+				// clone (before ApplyOutputs mutates the live game) and
+				// tell the guard whether the table's outputs were truth.
+				truth := game.Clone().Process(e).Record
+				co.guard.observe(tabGen, !trace.OutputsMatch(entry.Outputs, truth.Outputs))
+			}
 			res.SavedInstr += entry.Instr
 			game.ApplyOutputs(entry.Outputs)
 		} else {
@@ -456,12 +529,15 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	co := &coordinator{
-		cfg:  cfg,
-		met:  newFleetMetrics(cfg.Obs),
-		salt: obs.HashName("fleet/" + cfg.Game),
+		cfg:   cfg,
+		met:   newFleetMetrics(cfg.Obs),
+		salt:  obs.HashName("fleet/" + cfg.Game),
+		guard: newGuard(cfg.Guard, cfg.Table, cfg.Client, cfg.Game, cfg.Obs),
 	}
+	cfg.Chaos.SetMetrics(cfg.Obs)
 
 	swapsBefore := cfg.Table.Swaps()
+	rollbacksBefore := cfg.Table.Rollbacks()
 	start := time.Now()
 	results := make([]DeviceResult, cfg.Devices)
 	hists := make([]*latHist, cfg.Devices)
@@ -476,17 +552,31 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	for _, err := range errs {
+	// A dead device is a fleet fact, not a fleet failure: record it in
+	// the device's own result and keep the survivors' run intact.
+	failed := 0
+	for d, err := range errs {
 		if err != nil {
-			return nil, err
+			results[d].Failed = true
+			results[d].FailReason = err.Error()
+			failed++
+			co.met.failures.Inc()
 		}
 	}
 
 	res := &Result{
 		Game: cfg.Game, Devices: cfg.Devices, Wall: wall,
-		Swaps:        cfg.Table.Swaps() - swapsBefore,
-		TableVersion: cfg.Table.Version(),
-		PerDevice:    results,
+		Swaps:           cfg.Table.Swaps() - swapsBefore,
+		TableVersion:    cfg.Table.Version(),
+		TableGeneration: cfg.Table.Generation(),
+		Rollbacks:       cfg.Table.Rollbacks() - rollbacksBefore,
+		FailedDevices:   failed,
+		PerDevice:       results,
+		Guard:           co.guard.snapshot(),
+	}
+	if cfg.Chaos != nil {
+		c := cfg.Chaos.Counts()
+		res.Chaos = &c
 	}
 	merged := &latHist{}
 	for d := range results {

@@ -15,6 +15,14 @@ type SLOConfig struct {
 	// MaxRetriesPerBatch is the ceiling on transport retries per upload
 	// batch (a retry storm means the cloud, not the devices, is sick).
 	MaxRetriesPerBatch float64 `json:"max_retries_per_batch"`
+	// MaxMispredictRatio is the ceiling on the guard's observed
+	// mispredicts per shadow check; the verdict also fails whenever the
+	// run ends with the circuit breaker open (the guard tripped and had
+	// nothing to roll back to). Zero disables, like every other check.
+	MaxMispredictRatio float64 `json:"max_mispredict_ratio"`
+	// MaxFailedDeviceFraction is the ceiling on the fraction of devices
+	// that died mid-run. Zero disables.
+	MaxFailedDeviceFraction float64 `json:"max_failed_device_fraction"`
 }
 
 // DefaultSLOConfig is the envelope used when Config.SLO is nil.
@@ -26,6 +34,13 @@ func DefaultSLOConfig() SLOConfig {
 		MinHitRate:         0.05,
 		MaxP99LookupNS:     1 << 20, // ~1ms: orders of magnitude above a healthy probe
 		MaxRetriesPerBatch: 1.0,
+		// The guard trips on a per-generation basis well before the
+		// run-wide ratio reaches this; exceeding it overall means the
+		// defense itself is not keeping up.
+		MaxMispredictRatio: 0.10,
+		// Half the fleet dying is a run to investigate even under an
+		// aggressive chaos profile.
+		MaxFailedDeviceFraction: 0.5,
 	}
 }
 
@@ -46,6 +61,7 @@ type DeviceHealth struct {
 	SavedInstr  int64   `json:"saved_instr"`
 	P99LookupNS int64   `json:"p99_lookup_ns"`
 	Retries     int     `json:"retries"`
+	Failed      bool    `json:"failed,omitempty"`
 }
 
 // HealthSnapshot rolls per-device health into fleet-wide SLO verdicts.
@@ -84,6 +100,7 @@ func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
 			SavedInstr:  dr.SavedInstr,
 			P99LookupNS: dr.P99LookupNS,
 			Retries:     dr.Retries,
+			Failed:      dr.Failed,
 		}
 		if dr.Lookup.Lookups > 0 {
 			dh.HitRate = float64(dr.Lookup.Hits) / float64(dr.Lookup.Lookups)
@@ -125,6 +142,42 @@ func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
 		}
 		if !v.OK {
 			v.Detail = fmt.Sprintf("%.2f retries per batch above ceiling %.2f (retry storm)", h.RetriesPerBatch, slo.MaxRetriesPerBatch)
+		}
+		add(v)
+	}
+	if slo.MaxMispredictRatio > 0 {
+		ratio := 0.0
+		open := false
+		var checks int64
+		if res.Guard != nil {
+			ratio = res.Guard.MispredictRatio()
+			open = res.Guard.BreakerOpen
+			checks = res.Guard.ShadowChecks
+		}
+		v := SLOVerdict{
+			Name: "mispredict_ratio", Value: ratio, Threshold: slo.MaxMispredictRatio,
+			OK: checks == 0 || (!open && ratio <= slo.MaxMispredictRatio),
+		}
+		if !v.OK {
+			if open {
+				v.Detail = "run ended with the circuit breaker open (tripped with no rollback target)"
+			} else {
+				v.Detail = fmt.Sprintf("mispredict ratio %.3f above ceiling %.3f", ratio, slo.MaxMispredictRatio)
+			}
+		}
+		add(v)
+	}
+	if slo.MaxFailedDeviceFraction > 0 {
+		frac := 0.0
+		if res.Devices > 0 {
+			frac = float64(res.FailedDevices) / float64(res.Devices)
+		}
+		v := SLOVerdict{
+			Name: "failed_devices", Value: frac, Threshold: slo.MaxFailedDeviceFraction,
+			OK: res.FailedDevices == 0 || frac <= slo.MaxFailedDeviceFraction,
+		}
+		if !v.OK {
+			v.Detail = fmt.Sprintf("%d of %d devices died mid-run", res.FailedDevices, res.Devices)
 		}
 		add(v)
 	}

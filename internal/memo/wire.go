@@ -1,5 +1,11 @@
 package memo
 
+import (
+	"sort"
+
+	"snip/internal/trace"
+)
+
 // Wire is the serializable form of a SnipTable for OTA delivery
 // (encoding/gob-friendly: only exported fields).
 type Wire struct {
@@ -36,4 +42,40 @@ func FromWire(w *Wire) *SnipTable {
 	t := &SnipTable{sel: sel, buckets: w.Buckets}
 	t.cacheWidths()
 	return t
+}
+
+// Fingerprint returns a deterministic digest of the table's contents:
+// every entry's event type, keys, instruction weight and output fields,
+// folded in a canonical order. Two tables with identical rows produce
+// identical fingerprints regardless of map iteration order — the cheap
+// way to verify a rollback restored exactly the table that was displaced,
+// or that a poisoned copy really differs from its source.
+func (t *SnipTable) Fingerprint() uint64 {
+	h := trace.HashString("snip-table-v1")
+	types := make([]string, 0, len(t.buckets))
+	for et := range t.buckets {
+		types = append(types, et)
+	}
+	sort.Strings(types)
+	for _, et := range types {
+		byEvent := t.buckets[et]
+		eks := make([]uint64, 0, len(byEvent))
+		for ek := range byEvent {
+			eks = append(eks, ek)
+		}
+		sort.Slice(eks, func(i, j int) bool { return eks[i] < eks[j] })
+		h = trace.Combine(h, trace.HashString(et))
+		for _, ek := range eks {
+			h = trace.Combine(h, ek)
+			for _, e := range byEvent[ek].Order {
+				h = trace.Combine(h, e.StateKey)
+				h = trace.Combine(h, uint64(e.Instr))
+				for _, f := range e.Outputs {
+					h = trace.Combine(h, trace.HashString(f.Name))
+					h = trace.Combine(h, f.Value)
+				}
+			}
+		}
+	}
+	return h
 }

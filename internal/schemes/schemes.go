@@ -26,6 +26,7 @@ import (
 	"snip/internal/games"
 	"snip/internal/memo"
 	"snip/internal/obs"
+	"snip/internal/rng"
 	"snip/internal/soc"
 	"snip/internal/trace"
 	"snip/internal/units"
@@ -86,6 +87,14 @@ type Config struct {
 	// EvalCorrectness shadow-executes every short-circuited event to
 	// count erroneous output fields (ground truth; evaluation only).
 	EvalCorrectness bool
+	// ShadowSampleRate is the production mispredict guard: the fraction
+	// of memo hits that also run the real handler on a cloned game and
+	// compare outputs. Unlike EvalCorrectness (which checks every hit,
+	// for evaluation), this is the always-on defense a deployed fleet can
+	// afford — sampled, cheap, and feeding the per-generation mispredict
+	// tally that trips the circuit breaker. Zero disables it; a zero rate
+	// draws no randomness, so unguarded runs are byte-identical.
+	ShadowSampleRate float64
 	// PowerModel overrides the default component power model.
 	PowerModel *energy.PowerModel
 	// SoC overrides the default SoC performance config.
@@ -119,6 +128,8 @@ type sessionMetrics struct {
 	useless        int64
 	shadowChecks   int64
 	shadowErrors   int64
+	guardChecks    int64
+	guardMisses    int64
 }
 
 func newSessionMetrics(reg *obs.Registry) *sessionMetrics {
@@ -144,6 +155,28 @@ func (m *sessionMetrics) flush() {
 	reg.Counter("snip_events_useless_total", "baseline events that changed no state").Add(m.useless)
 	reg.Counter("snip_shadow_checks_total", "short-circuits verified against ground truth").Add(m.shadowChecks)
 	reg.Counter("snip_shadow_error_fields_total", "erroneous output fields caught by shadow execution").Add(m.shadowErrors)
+	reg.Counter("snip_guard_shadow_checks_total", "sampled memo hits verified by the mispredict guard").Add(m.guardChecks)
+	reg.Counter("snip_guard_mispredicts_total", "sampled memo hits whose outputs mismatched ground truth").Add(m.guardMisses)
+}
+
+// GuardStats tallies the sampled mispredict guard for one session.
+type GuardStats struct {
+	ShadowChecks int64 // memo hits sampled for shadow verification
+	Mispredicts  int64 // sampled hits whose served outputs were wrong
+}
+
+// Merge folds another session's guard tally into this one.
+func (g *GuardStats) Merge(o GuardStats) {
+	g.ShadowChecks += o.ShadowChecks
+	g.Mispredicts += o.Mispredicts
+}
+
+// MispredictRatio returns mispredicts per sampled check (0 when none).
+func (g GuardStats) MispredictRatio() float64 {
+	if g.ShadowChecks == 0 {
+		return 0
+	}
+	return float64(g.Mispredicts) / float64(g.ShadowChecks)
 }
 
 // ErrorStats counts short-circuit prediction errors by output category.
@@ -201,6 +234,10 @@ type Result struct {
 	Lookup memo.LookupStats
 
 	Errors ErrorStats
+
+	// Guard tallies the sampled shadow-verification guard (only non-zero
+	// when Config.ShadowSampleRate > 0 and the scheme short-circuits).
+	Guard GuardStats
 
 	// TraceID is the session's distributed-trace identifier, set on
 	// every run (it is a pure function of game/scheme/seed, so setting
@@ -290,6 +327,15 @@ func Run(cfg Config) (*Result, error) {
 
 	met := newSessionMetrics(cfg.Obs)
 	tracing := cfg.Tracer != nil || cfg.Spans != nil
+
+	// The guard's sampling stream is split off the session seed, so it
+	// perturbs no other stream: enabling the guard changes which hits are
+	// verified, never what any handler computes. With the rate at zero no
+	// source is created and no randomness is drawn at all.
+	var shadowSrc *rng.Source
+	if cfg.ShadowSampleRate > 0 && (cfg.Scheme == SNIP || cfg.Scheme == NoOverheads) {
+		shadowSrc = rng.New(cfg.Seed ^ 0x5348414457475244) // "SHADWGRD"
+	}
 
 	// The session's trace root is a pure function of (game, scheme,
 	// seed): rerunning the session reproduces every ID, and computing it
@@ -450,6 +496,25 @@ func Run(cfg Config) (*Result, error) {
 					if tracing {
 						chain.ShadowChecked = true
 						chain.ShadowErrFields = res.Errors.ErrFields() - errBefore
+					}
+				} else if shadowSrc != nil && shadowSrc.Bool(cfg.ShadowSampleRate) {
+					// Sampled production guard: run the real handler on a
+					// clone (before ApplyOutputs mutates the live game) and
+					// compare what the table served against ground truth.
+					truth := game.Clone().Process(e).Record
+					match := trace.OutputsMatch(entry.Outputs, truth.Outputs)
+					res.Guard.ShadowChecks++
+					if !match {
+						res.Guard.Mispredicts++
+					}
+					if met != nil {
+						met.guardChecks++
+						if !match {
+							met.guardMisses++
+						}
+					}
+					if tracing {
+						chain.ShadowChecked = true
 					}
 				}
 				res.SnippedWeight += weight

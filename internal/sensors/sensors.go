@@ -7,6 +7,7 @@
 package sensors
 
 import (
+	"errors"
 	"fmt"
 
 	"snip/internal/units"
@@ -117,12 +118,21 @@ type Stream struct {
 	readings []Reading
 }
 
-// Append adds a reading; callers must append in non-decreasing time order.
-func (s *Stream) Append(r Reading) {
+// ErrOutOfOrder is returned by Append when a reading arrives with a
+// timestamp earlier than the stream's last reading. Real sensor hubs see
+// this (clock slews, resets, flaky buses); it is a recoverable condition
+// the caller counts and drops, not a crash.
+var ErrOutOfOrder = errors.New("sensors: out-of-order reading")
+
+// Append adds a reading. Readings must arrive in non-decreasing time
+// order; an out-of-order reading is rejected with ErrOutOfOrder and the
+// stream is left unchanged.
+func (s *Stream) Append(r Reading) error {
 	if n := len(s.readings); n > 0 && r.Time < s.readings[n-1].Time {
-		panic(fmt.Sprintf("sensors: out-of-order reading at %v after %v", r.Time, s.readings[n-1].Time))
+		return fmt.Errorf("%w: %v after %v", ErrOutOfOrder, r.Time, s.readings[n-1].Time)
 	}
 	s.readings = append(s.readings, r)
+	return nil
 }
 
 // Len returns the number of readings.

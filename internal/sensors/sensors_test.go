@@ -1,6 +1,7 @@
 package sensors
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -73,12 +74,12 @@ func TestStreamOrdering(t *testing.T) {
 	if len(s.All()) != 3 {
 		t.Fatal("All length wrong")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-order append did not panic")
-		}
-	}()
-	s.Append(GyroReading(5, 0, 0, 0))
+	if err := s.Append(GyroReading(5, 0, 0, 0)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order append: err = %v, want ErrOutOfOrder", err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("rejected reading mutated the stream: len=%d", s.Len())
+	}
 }
 
 func TestEmptyStreamEnd(t *testing.T) {

@@ -2,10 +2,14 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"snip/internal/units"
@@ -117,25 +121,74 @@ type SessionBatch struct {
 	Sessions []SessionEvents
 }
 
-// EncodeBatch writes a session batch as magic + gzip(gob) — the wire
-// form of POST /v1/upload-batch.
+// The batch wire format carries an integrity trailer after the gzip
+// stream: 4 marker bytes plus the big-endian CRC32 (IEEE) of the gzip
+// payload. A flipped or truncated body is rejected deterministically at
+// decode time instead of surfacing as a nondeterministic gob/gzip parse
+// error deep in the session data. Decoding still accepts trailerless
+// payloads from the previous release (the one-release compatibility
+// window); the accidental-marker collision probability for a legacy
+// payload is 2^-32 and vanishes once the window closes.
+const (
+	batchTrailerMagic = "SNPC"
+	batchTrailerLen   = len(batchTrailerMagic) + crc32.Size
+)
+
+// DefaultMaxDecodedBatch caps how many decompressed bytes DecodeBatch
+// will feed the gob decoder — the library-level defense against gzip
+// bombs. Servers pass tighter caps via DecodeBatchLimit.
+const DefaultMaxDecodedBatch = 1 << 30
+
+// Deterministic batch-rejection causes, counted by the cloud ingest
+// metrics. Wrapped in the returned errors; test with errors.Is.
+var (
+	// ErrBatchChecksum marks a batch whose CRC32 trailer does not match
+	// its payload — a corrupted body.
+	ErrBatchChecksum = errors.New("trace: batch checksum mismatch")
+	// ErrBatchTooLarge marks a batch whose decompressed size exceeds the
+	// decoder's cap — a gzip bomb or a runaway client.
+	ErrBatchTooLarge = errors.New("trace: batch decoded size exceeds limit")
+)
+
+// EncodeBatch writes a session batch as magic + gzip(gob) + CRC32
+// trailer — the wire form of POST /v1/upload-batch.
 func EncodeBatch(w io.Writer, b *SessionBatch) error {
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, magicBatch); err != nil {
 		return err
 	}
-	zw := gzip.NewWriter(bw)
+	crc := crc32.NewIEEE()
+	zw := gzip.NewWriter(io.MultiWriter(bw, crc))
 	if err := gob.NewEncoder(zw).Encode(b); err != nil {
 		return fmt.Errorf("trace: encode batch: %w", err)
 	}
 	if err := zw.Close(); err != nil {
 		return fmt.Errorf("trace: encode batch: %w", err)
 	}
+	if _, err := io.WriteString(bw, batchTrailerMagic); err != nil {
+		return err
+	}
+	var sum [crc32.Size]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
-// DecodeBatch reads a session batch written by EncodeBatch.
+// DecodeBatch reads a session batch written by EncodeBatch, capping the
+// decompressed size at DefaultMaxDecodedBatch.
 func DecodeBatch(r io.Reader) (*SessionBatch, error) {
+	return DecodeBatchLimit(r, DefaultMaxDecodedBatch)
+}
+
+// DecodeBatchLimit reads a session batch, verifying the CRC32 trailer
+// when present (trailerless payloads from the previous wire release are
+// still accepted) and refusing to decompress more than maxDecoded bytes.
+// Corrupt input returns an error wrapping ErrBatchChecksum; oversized
+// input one wrapping ErrBatchTooLarge. It never panics, whatever the
+// input (pinned by FuzzDecodeBatch).
+func DecodeBatchLimit(r io.Reader, maxDecoded int64) (*SessionBatch, error) {
 	br := bufio.NewReader(r)
 	var magic [9]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -144,16 +197,63 @@ func DecodeBatch(r io.Reader) (*SessionBatch, error) {
 	if string(magic[:]) != magicBatch {
 		return nil, fmt.Errorf("trace: bad batch magic %q", magic)
 	}
-	zr, err := gzip.NewReader(br)
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode batch: %w", err)
+	}
+	if n := len(payload); n >= batchTrailerLen &&
+		string(payload[n-batchTrailerLen:n-crc32.Size]) == batchTrailerMagic {
+		want := binary.BigEndian.Uint32(payload[n-crc32.Size:])
+		payload = payload[:n-batchTrailerLen]
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, fmt.Errorf("%w: crc %08x, trailer says %08x", ErrBatchChecksum, got, want)
+		}
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("trace: decode batch: %w", err)
 	}
 	defer zr.Close()
+	if maxDecoded <= 0 {
+		maxDecoded = DefaultMaxDecodedBatch
+	}
+	lr := &cappedReader{r: zr, remaining: maxDecoded}
 	var b SessionBatch
-	if err := gob.NewDecoder(zr).Decode(&b); err != nil {
+	if err := gob.NewDecoder(lr).Decode(&b); err != nil {
+		if lr.exceeded {
+			return nil, fmt.Errorf("%w (cap %d bytes)", ErrBatchTooLarge, maxDecoded)
+		}
 		return nil, fmt.Errorf("trace: decode batch: %w", err)
 	}
+	// Anything left after the gob message is garbage — typically a
+	// truncated trailer masquerading as a legacy trailerless payload.
+	// (A genuine legacy payload ends exactly where the gob message does.)
+	var tail [1]byte
+	if n, err := zr.Read(tail[:]); n != 0 || (err != nil && err != io.EOF) {
+		return nil, fmt.Errorf("%w: trailing garbage after batch payload", ErrBatchChecksum)
+	}
 	return &b, nil
+}
+
+// cappedReader bounds the bytes read through it, flagging (and erroring
+// on) any attempt to read past the cap — the gzip-bomb guard.
+type cappedReader struct {
+	r         io.Reader
+	remaining int64
+	exceeded  bool
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		c.exceeded = true
+		return 0, ErrBatchTooLarge
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	return n, err
 }
 
 // BatchTransferSize returns the encoded (compressed) size of a session

@@ -1,0 +1,26 @@
+package trace
+
+// OutputsMatch reports whether served output fields replay the ground
+// truth exactly: every truth field must appear among the served fields
+// with an identical value. This is the comparison the shadow-verification
+// guard runs on sampled memo hits — a false return is one mispredict.
+//
+// The scan is linear per field rather than map-based: guard checks run on
+// the serving path (sampled, but still inside a device's event loop) and
+// output lists are a handful of fields, so avoiding the map allocation
+// matters more than asymptotics.
+func OutputsMatch(served, truth []Field) bool {
+	for _, tf := range truth {
+		ok := false
+		for _, sf := range served {
+			if sf.Name == tf.Name {
+				ok = sf.Value == tf.Value
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

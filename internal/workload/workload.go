@@ -77,7 +77,9 @@ func (b *builder) finish() *sensors.Stream {
 	sort.SliceStable(b.buf, func(i, j int) bool { return b.buf[i].Time < b.buf[j].Time })
 	s := &sensors.Stream{}
 	for _, r := range b.buf {
-		s.Append(r)
+		// The sort guarantees ordering, so an append cannot fail here; a
+		// rejected reading would be a builder bug and is simply dropped.
+		_ = s.Append(r)
 	}
 	return s
 }
