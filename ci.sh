@@ -43,6 +43,7 @@ echo "== fuzz smoke (ingest decoders must reject arbitrary bytes, never panic)"
 go test -run '^$' -fuzz '^FuzzDecodeBatch$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzDecodeEventsOnly$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzDecodeUpdate$' -fuzztime 5s ./internal/cloud
+go test -run '^$' -fuzz '^FuzzLoadFlatTable$' -fuzztime 5s ./internal/memo
 
 echo "== chaos gate (all faults + mispredict guard under the race detector, zero panics)"
 go run -race ./cmd/fleetbench -chaos all -chaos-seed 7 -shadow-rate 0.25 \
@@ -52,7 +53,7 @@ go run ./cmd/fleetbench -validate /tmp/snip_bench_chaos_gate.json
 rm -f /tmp/snip_bench_chaos_gate.json
 
 echo "== allocation gate (memo lookup + metrics + span hot paths must stay 0 allocs/op)"
-alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|SharedLookupParallel|SharedLookupSpan|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord' \
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord' \
 	-benchmem -benchtime 1000x ./internal/memo ./internal/obs)
 echo "$alloc_out"
 bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')
@@ -61,5 +62,14 @@ if [ -n "$bad" ]; then
 	echo "$bad" >&2
 	exit 1
 fi
+
+echo "== lookup regression gate (flat backend must stay within 10% of map, both measured now)"
+# Gated at sizes past cache capacity, where the flat layout's advantage
+# is structural; at 1k rows both backends are cache-resident and the
+# winner flips with machine noise, so a threshold there only flaps.
+go run ./cmd/fleetbench -lookup-sweep 32k,256k -sweep-ops 100000 -sweep-gate 1.10 \
+	-out /tmp/snip_bench_lookup_gate.json
+go run ./cmd/fleetbench -validate /tmp/snip_bench_lookup_gate.json
+rm -f /tmp/snip_bench_lookup_gate.json
 
 echo "ci: all green"

@@ -4,9 +4,14 @@
 // lookups/sec, p50/p99 probe latency, batched-upload wire bytes and the
 // live OTA swap. Results go to a JSON bench file.
 //
+// It also hosts the lookup-only microbench: -lookup-sweep measures the
+// map and flat table backends head to head across row counts (1k–10M)
+// without any fleet machinery in the way.
+//
 // Usage:
 //
 //	fleetbench -game Colorphun -devices 1,2,4,8 -out BENCH_fleet.json
+//	fleetbench -lookup-sweep default -out BENCH_lookup.json
 //	fleetbench -validate BENCH_fleet.json
 package main
 
@@ -18,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -33,7 +39,13 @@ type benchFile struct {
 	SessionsPerDevice int    `json:"sessions_per_device"`
 	SessionSecs       int    `json:"session_secs"`
 	BatchSize         int    `json:"batch_size"`
-	GoMaxProcs        int    `json:"gomaxprocs"`
+	// GoMaxProcs records the runtime's actual GOMAXPROCS at run time
+	// (after any -gomaxprocs override), so bench files are comparable
+	// across machines and pinned runs.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Backend names the table backend the sweep served from: "flat"
+	// (zero-copy image, the default) or "map" (legacy pointer-based).
+	Backend string `json:"backend,omitempty"`
 	// Chaos names the fault-injection profile the sweep ran under (""
 	// or "off" = none); ChaosSeed its seed; ShadowRate the mispredict
 	// guard's sampling rate (0 = guard off). Validation relaxes the
@@ -57,6 +69,13 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
 	shadowRate := flag.Float64("shadow-rate", 0, "mispredict-guard shadow-verification sample rate (0 = guard off)")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS")
+	gmp := flag.Int("gomaxprocs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default)")
+	backend := flag.String("backend", "flat", `table backend to serve: "flat" (zero-copy image) or "map" (legacy)`)
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+	sweep := flag.String("lookup-sweep", "", `run the lookup-only map-vs-flat microbench instead of the fleet: comma-separated row counts (k/m suffixes ok) or "default" for 1k,10k,100k,1m,10m`)
+	sweepOps := flag.Int("sweep-ops", 200000, "lookups measured per sweep point and backend")
+	sweepGate := flag.Float64("sweep-gate", 0, "fail the sweep if flat ns/op exceeds map ns/op by this factor at any point (e.g. 1.10; 0 = no gate)")
 	out := flag.String("out", "BENCH_fleet.json", "bench file to write")
 	metricsMode := flag.String("metrics", "", `dump the fleet-side metrics after the sweep: "text" (Prometheus exposition) or "json" (snapshot)`)
 	validate := flag.String("validate", "", "validate an existing bench file and exit")
@@ -66,6 +85,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fleetbench: -metrics %q: want text or json\n", *metricsMode)
 		os.Exit(2)
 	}
+	if *backend != "flat" && *backend != "map" {
+		fmt.Fprintf(os.Stderr, "fleetbench: -backend %q: want flat or map\n", *backend)
+		os.Exit(2)
+	}
 
 	if *validate != "" {
 		if err := validateFile(*validate); err != nil {
@@ -73,6 +96,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: ok\n", *validate)
+		return
+	}
+
+	if *gmp > 0 {
+		runtime.GOMAXPROCS(*gmp)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
+
+	if *sweep != "" {
+		fatalIf(runSweep(*sweep, *sweepOps, *sweepGate, *out))
 		return
 	}
 
@@ -89,13 +131,20 @@ func main() {
 	pfiOpts.Workers = *workers
 	table, _, err := snip.BuildTable(profile, pfiOpts)
 	fatalIf(err)
-	fmt.Fprintf(os.Stderr, "table: %d rows, %d bytes\n", table.Rows(), table.SizeBytes())
+	if *backend == "flat" {
+		fatalIf(table.Flatten())
+		fmt.Fprintf(os.Stderr, "table: %d rows, %d bytes (flat image %d bytes)\n",
+			table.Rows(), table.SizeBytes(), table.ImageBytes())
+	} else {
+		fmt.Fprintf(os.Stderr, "table: %d rows, %d bytes (legacy map backend)\n",
+			table.Rows(), table.SizeBytes())
+	}
 
 	file := &benchFile{
 		Bench: "fleet", Game: *game,
 		SessionsPerDevice: *sessions, SessionSecs: *secs, BatchSize: *batch,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Chaos:      *chaosProf, ChaosSeed: *chaosSeed, ShadowRate: *shadowRate,
+		GoMaxProcs: runtime.GOMAXPROCS(0), Backend: *backend,
+		Chaos: *chaosProf, ChaosSeed: *chaosSeed, ShadowRate: *shadowRate,
 	}
 	// One Metrics across the sweep: the snip_fleet_* series accumulate
 	// over every device count, and the span ring retains the tail of the
@@ -103,7 +152,7 @@ func main() {
 	met := snip.NewMetrics()
 	for _, n := range counts {
 		rep, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
-			*chaosProf, *chaosSeed, *shadowRate, met)
+			*backend, *chaosProf, *chaosSeed, *shadowRate, met)
 		fatalIf(err)
 		file.Runs = append(file.Runs, rep)
 		health := "healthy"
@@ -148,9 +197,10 @@ func main() {
 // runOnce measures one device count against a fresh in-process cloud, so
 // sweep points don't feed each other's profiles.
 func runOnce(game string, table *snip.Table, devices, sessions int,
-	dur time.Duration, batch int, ota bool,
+	dur time.Duration, batch int, ota bool, backend string,
 	chaosProf string, chaosSeed uint64, shadowRate float64, met *snip.Metrics) (*snip.FleetReport, error) {
 	svc := snip.NewCloudService(snip.DefaultPFIOptions())
+	svc.SetLegacyTables(backend == "map")
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -195,19 +245,32 @@ func parseCounts(s string) ([]int, error) {
 	return counts, nil
 }
 
-// validateFile checks a bench file against the schema — the ci.sh smoke
-// gate for the harness.
+// validateFile checks a bench file against its schema — the ci.sh smoke
+// gate for the harness. Fleet sweeps and lookup sweeps share the gate;
+// the "bench" field picks the schema.
 func validateFile(path string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var probe struct {
+		Bench string `json:"bench"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return err
+	}
+	if probe.Bench == "lookup" {
+		return validateSweep(b)
 	}
 	var f benchFile
 	if err := json.Unmarshal(b, &f); err != nil {
 		return err
 	}
 	if f.Bench != "fleet" {
-		return fmt.Errorf("bench %q, want \"fleet\"", f.Bench)
+		return fmt.Errorf("bench %q, want \"fleet\" or \"lookup\"", f.Bench)
+	}
+	if f.Backend != "" && f.Backend != "flat" && f.Backend != "map" {
+		return fmt.Errorf("backend %q, want flat or map", f.Backend)
 	}
 	if f.Game == "" || f.SessionsPerDevice < 1 || f.SessionSecs < 1 {
 		return fmt.Errorf("missing run settings")
@@ -300,6 +363,18 @@ func validateHealth(i int, r *snip.FleetReport, chaotic bool) error {
 		}
 	}
 	return nil
+}
+
+// writeMemProfile dumps a post-GC heap profile; a no-op without a path.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	fatalIf(err)
+	runtime.GC()
+	fatalIf(pprof.WriteHeapProfile(f))
+	fatalIf(f.Close())
 }
 
 func fatalIf(err error) {

@@ -11,7 +11,7 @@
 //
 //	POST /v1/upload?game=G&seed=S    (body: events-only log)
 //	POST /v1/rebuild?game=G
-//	GET  /v1/table?game=G
+//	GET  /v1/table?game=G            (zero-copy flat image; -legacy-tables serves gob)
 //	GET  /v1/status?game=G
 //	GET  /v1/metrics                 (Prometheus text exposition)
 package main
@@ -34,6 +34,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8370", "listen address")
 	metricsMode := flag.String("metrics", "", "dump collected metrics to stderr at exit: text (Prometheus) | json")
 	drain := flag.Duration("drain", 5*time.Second, "how long to let in-flight uploads finish on SIGINT/SIGTERM")
+	legacyTables := flag.Bool("legacy-tables", false, "serve map-backed tables as gob instead of the zero-copy flat image")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -44,6 +45,7 @@ func main() {
 
 	svc := snip.NewCloudService(snip.DefaultPFIOptions())
 	svc.SetLogger(logger)
+	svc.SetLegacyTables(*legacyTables)
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

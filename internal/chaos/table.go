@@ -22,8 +22,11 @@ const poisonMask = 0xBAD5EED0DEADBEEF
 // With the rate at zero (or a nil injector) the original table is
 // returned untouched. Which entries are poisoned is deterministic: the
 // decision stream is derived from the profile seed and the table's
-// content fingerprint, and entries are visited in canonical order.
-func (i *Injector) MaybePoisonTable(t *memo.SnipTable) (*memo.SnipTable, int) {
+// content fingerprint, and entries are visited in canonical order —
+// and both of those are backend-independent (a flat table fingerprints
+// and exports identically to its map-backed source), so the same
+// entries are poisoned whichever backend the OTA fetch produced.
+func (i *Injector) MaybePoisonTable(t memo.Table) (memo.Table, int) {
 	if i == nil || i.prof.TablePoisonRate <= 0 || t == nil {
 		return t, 0
 	}
@@ -71,5 +74,14 @@ func (i *Injector) MaybePoisonTable(t *memo.SnipTable) (*memo.SnipTable, int) {
 	}
 	i.count(&i.entriesPoisoned, "", int64(poisoned))
 	i.count(&i.tablesPoisoned, "table_poisoned", 1)
-	return memo.FromWire(cp), poisoned
+	bad := memo.FromWire(cp)
+	// Keep the victim's backend: a poisoned flat fetch publishes a
+	// poisoned flat table, so the guard exercises the same serving path
+	// the fleet actually runs.
+	if _, isFlat := t.(*memo.FlatTable); isFlat {
+		if ft, err := memo.Flatten(bad); err == nil {
+			return ft, poisoned
+		}
+	}
+	return bad, poisoned
 }

@@ -53,6 +53,7 @@ type Service struct {
 	spans     *obs.SpanBuffer
 	started   time.Time
 	log       *slog.Logger
+	legacy    bool
 }
 
 // Ingest body limits: requests are bounded before any decode work, so a
@@ -157,12 +158,26 @@ func (s *Service) Spans() *obs.SpanBuffer { return s.spans }
 // events. Nil (the default) disables logging.
 func (s *Service) SetLogger(l *slog.Logger) { s.log = l }
 
+// SetLegacyTables switches every profiler (existing and future) to the
+// map-backed table path: rebuilds produce SnipTables and /v1/table
+// serves the gob wire form. The default (false) builds flat tables and
+// serves their images raw — the zero-copy OTA path.
+func (s *Service) SetLegacyTables(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.legacy = v
+	for _, p := range s.profilers {
+		p.SetLegacyTables(v)
+	}
+}
+
 func (s *Service) profiler(game string) *Profiler {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.profilers[game]
 	if !ok {
 		p = NewProfiler(game, s.cfg)
+		p.SetLegacyTables(s.legacy)
 		s.profilers[game] = p
 	}
 	return p
@@ -518,13 +533,33 @@ func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no table built yet", http.StatusNotFound)
 		return
 	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snip-Version", strconv.Itoa(up.Version))
+	// A flat table ships as its raw image: the bytes on the wire ARE the
+	// serving structure, so the device validates the header + CRC and
+	// probes straight out of the buffer — no gob decode anywhere on the
+	// device path. The build metadata gob used to carry rides response
+	// headers instead.
+	if flat, ok := up.Table.(*memo.FlatTable); ok {
+		pm, err := json.Marshal(up.Metrics)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Snip-Format", "flat")
+		w.Header().Set("X-Snip-Game", up.Game)
+		w.Header().Set("X-Snip-Records", strconv.Itoa(up.ProfileRecords))
+		w.Header().Set("X-Snip-Pfi", string(pm))
+		_, _ = w.Write(flat.Image())
+		s.met.tablesServed.Inc()
+		return
+	}
 	var buf bytes.Buffer
 	if err := EncodeUpdate(&buf, up); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Snip-Version", strconv.Itoa(up.Version))
+	w.Header().Set("X-Snip-Format", "gob")
 	_, _ = w.Write(buf.Bytes())
 	s.met.tablesServed.Inc()
 }
@@ -570,6 +605,9 @@ func DecodeUpdate(r io.Reader) (*TableUpdate, error) {
 	var wu wireUpdate
 	if err := gob.NewDecoder(r).Decode(&wu); err != nil {
 		return nil, fmt.Errorf("cloud: decode update: %w", err)
+	}
+	if wu.Table == nil {
+		return nil, fmt.Errorf("cloud: decode update: missing table")
 	}
 	t := memo.FromWire(wu.Table)
 	return &TableUpdate{
@@ -838,7 +876,10 @@ func (c *Client) Rebuild(game string) error {
 	return errFromResponse(resp)
 }
 
-// FetchTable downloads the latest OTA table.
+// FetchTable downloads the latest OTA table. A flat-image payload
+// (sniffed by its magic) is validated and served out of the downloaded
+// buffer directly — the device path runs no gob decode; a gob payload
+// takes the legacy DecodeUpdate path.
 func (c *Client) FetchTable(game string) (*TableUpdate, error) {
 	u := c.endpoint("/v1/table", url.Values{"game": {game}})
 	resp, _, err := c.do(http.MethodGet, u, "", nil, obs.SpanContext{})
@@ -849,7 +890,33 @@ func (c *Client) FetchTable(game string) (*TableUpdate, error) {
 	if err := errFromResponse(resp); err != nil {
 		return nil, err
 	}
-	return DecodeUpdate(resp.Body)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: read table: %w", err)
+	}
+	if !memo.IsFlatImage(body) {
+		return DecodeUpdate(bytes.NewReader(body))
+	}
+	t, err := memo.LoadFlatTable(body)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: flat table payload: %w", err)
+	}
+	up := &TableUpdate{Game: resp.Header.Get("X-Snip-Game"), Selection: t.Selection(), Table: t}
+	if up.Game == "" {
+		up.Game = game
+	}
+	if v, err := strconv.Atoi(resp.Header.Get("X-Snip-Version")); err == nil {
+		up.Version = v
+	}
+	if n, err := strconv.Atoi(resp.Header.Get("X-Snip-Records")); err == nil {
+		up.ProfileRecords = n
+	}
+	if pm := resp.Header.Get("X-Snip-Pfi"); pm != "" {
+		if err := json.Unmarshal([]byte(pm), &up.Metrics); err != nil {
+			return nil, fmt.Errorf("cloud: bad X-Snip-Pfi header: %w", err)
+		}
+	}
+	return up, nil
 }
 
 func errFromResponse(resp *http.Response) error {

@@ -85,12 +85,14 @@ func ReplayBatch(gameName string, workers int, logs []SessionLog) ([]*trace.Data
 }
 
 // TableUpdate is the OTA payload the cloud sends back to devices: the
-// necessary-input selection and the populated lookup table.
+// necessary-input selection and the populated lookup table. The table
+// is a *memo.FlatTable by default (the image-serving path) or a
+// *memo.SnipTable when legacy tables are selected.
 type TableUpdate struct {
 	Game      string
 	Version   int
 	Selection memo.Selection
-	Table     *memo.SnipTable
+	Table     memo.Table
 	// Quality captured on the profile at build time.
 	Metrics pfi.Metrics
 	// ProfileRecords is how many records the table was trained on.
@@ -106,11 +108,23 @@ type Profiler struct {
 	profile *trace.Dataset
 	version int
 	latest  *TableUpdate
+	legacy  bool
 }
 
-// NewProfiler creates a profiler for one game.
+// NewProfiler creates a profiler for one game. Rebuilds produce flat
+// tables unless SetLegacyTables switches the profiler to the map-backed
+// path.
 func NewProfiler(game string, cfg pfi.Config) *Profiler {
 	return &Profiler{game: game, cfg: cfg, profile: &trace.Dataset{Game: game}}
+}
+
+// SetLegacyTables selects the map-backed SnipTable for future rebuilds
+// (the A/B flag for the flat table core); false restores the default
+// flat builds.
+func (p *Profiler) SetLegacyTables(v bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.legacy = v
 }
 
 // Game returns the game this profiler serves.
@@ -181,12 +195,21 @@ func (p *Profiler) Rebuild() (*TableUpdate, error) {
 	if err != nil {
 		return nil, err
 	}
+	var table memo.Table = memo.BuildSnip(p.profile, res.Selection)
+	if !p.legacy {
+		table.Freeze()
+		flat, err := memo.Flatten(table)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: flat table build for %s: %w", p.game, err)
+		}
+		table = flat
+	}
 	p.version++
 	p.latest = &TableUpdate{
 		Game:           p.game,
 		Version:        p.version,
 		Selection:      res.Selection,
-		Table:          memo.BuildSnip(p.profile, res.Selection),
+		Table:          table,
 		Metrics:        res.Final,
 		ProfileRecords: p.profile.Len(),
 	}

@@ -498,7 +498,17 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 				// clone (before ApplyOutputs mutates the live game) and
 				// tell the guard whether the table's outputs were truth.
 				truth := game.Clone().Process(e).Record
-				co.guard.observe(tabGen, !trace.OutputsMatch(entry.Outputs, truth.Outputs))
+				mispredict := !trace.OutputsMatch(entry.Outputs, truth.Outputs)
+				co.guard.observe(tabGen, mispredict)
+				if mispredict {
+					// The shadow clone already computed the correct
+					// outputs; applying the table's wrong ones anyway
+					// would corrupt the device's state — and every later
+					// lookup keyed on it — for the price of nothing. No
+					// SavedInstr credit either: the handler ran in full.
+					game.ApplyOutputs(truth.Outputs)
+					continue
+				}
 			}
 			res.SavedInstr += entry.Instr
 			game.ApplyOutputs(entry.Outputs)

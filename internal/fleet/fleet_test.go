@@ -19,7 +19,7 @@ const (
 
 // bootCloud starts a profiler service, seeds it with a few recorded
 // sessions and builds the first table — the state a fleet joins.
-func bootCloud(t *testing.T) (*cloud.Service, *httptest.Server, *cloud.Client, *memo.SnipTable) {
+func bootCloud(t *testing.T) (*cloud.Service, *httptest.Server, *cloud.Client, memo.Table) {
 	t.Helper()
 	svc := cloud.NewService(pfi.DefaultConfig())
 	srv := httptest.NewServer(svc.Handler())

@@ -1,0 +1,77 @@
+package memo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzLoadFlatTable throws arbitrary bytes at the flat-image loader: it
+// must reject garbage with an error — never panic, never return a table
+// that then misbehaves. Inputs prefixed with "FIXC" get both CRCs
+// recomputed before loading, so the fuzzer can mutate the arena
+// structure freely and reach the validation layers behind the
+// checksums (index/entry-count consistency, section bounds, bucket
+// ordering) instead of bouncing off the CRC every time.
+func FuzzLoadFlatTable(f *testing.F) {
+	valid, err := SynthTable(64).FlatImage()
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := NewSnipTable(Selection{}).FlatImage()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(empty)
+	f.Add(valid[:flatHeaderLen])            // header only, truncated arena
+	f.Add(valid[:len(valid)/2])             // mid-arena truncation
+	f.Add(append([]byte("FIXC"), valid...)) // CRC-repair mode seed
+	// Corrupted-header seeds: version, counts, arena length.
+	for _, off := range []int{8, 16, 24, 32, 40} {
+		img := bytes.Clone(valid)
+		binary.LittleEndian.PutUint32(img[off:], 0xFFFF)
+		f.Add(img)
+		f.Add(append([]byte("FIXC"), img...))
+	}
+	// Index/entry-count mismatch seed: entry count off by one, CRCs
+	// repaired so the structural check is what fires.
+	mism := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(mism[16:], binary.LittleEndian.Uint64(mism[16:])+1)
+	f.Add(append([]byte("FIXC"), mism...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if bytes.HasPrefix(data, []byte("FIXC")) {
+			data = bytes.Clone(data[4:])
+			if len(data) >= flatHeaderLen {
+				binary.LittleEndian.PutUint32(data[48:], crc32.ChecksumIEEE(data[flatHeaderLen:]))
+				binary.LittleEndian.PutUint32(data[52:], crc32.ChecksumIEEE(data[0:52]))
+			}
+		}
+		ft, err := LoadFlatTable(data)
+		if err != nil {
+			if ft != nil {
+				t.Fatal("error with non-nil table")
+			}
+			return
+		}
+		// A table that loaded must be safely probe-able and internally
+		// consistent.
+		_ = ft.Fingerprint()
+		if ft.Rows() < 0 || ft.Buckets() < 0 || ft.MaxBucket() > ft.Rows() {
+			t.Fatalf("inconsistent shape: rows=%d buckets=%d max=%d", ft.Rows(), ft.Buckets(), ft.MaxBucket())
+		}
+		for _, et := range []string{"tap", "swipe", ""} {
+			e, probes, cb, ok := ft.Lookup(et, func(string) (uint64, bool) { return 1, true })
+			if ok && e == nil {
+				t.Fatal("hit returned nil entry")
+			}
+			if probes < 0 || cb < 0 {
+				t.Fatalf("negative costs %d %d", probes, cb)
+			}
+		}
+		_ = ft.Export()
+	})
+}

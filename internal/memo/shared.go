@@ -11,11 +11,13 @@ import (
 // the guard loop attributes every mispredict to the generation that
 // actually served the hit.
 type published struct {
-	t   *SnipTable
+	t   Table
 	gen int64
 }
 
-// Shared serves one immutable SnipTable snapshot to an arbitrary number
+// Shared serves one immutable table snapshot (either backend behind the
+// Table interface; the flat image in the default deployment) to an
+// arbitrary number
 // of concurrent readers and supports RCU-style OTA refresh: a rebuilt
 // table swaps in atomically without stalling in-flight lookups. This is
 // the fleet-serving shape of the paper's Fig. 10 deployment — the cloud
@@ -44,7 +46,7 @@ type Shared struct {
 
 // NewShared publishes an initial table (which may be nil — Load then
 // returns nil until the first Swap). The table is frozen.
-func NewShared(t *SnipTable) *Shared {
+func NewShared(t Table) *Shared {
 	s := &Shared{}
 	if t != nil {
 		t.Freeze()
@@ -56,7 +58,7 @@ func NewShared(t *SnipTable) *Shared {
 
 // Load returns the current snapshot. The result is immutable and safe to
 // probe from any goroutine; it may be nil if nothing was published yet.
-func (s *Shared) Load() *SnipTable {
+func (s *Shared) Load() Table {
 	if pub := s.p.Load(); pub != nil {
 		return pub.t
 	}
@@ -66,7 +68,7 @@ func (s *Shared) Load() *SnipTable {
 // LoadGen returns the current snapshot together with the generation it
 // was published under — one atomic load, never torn. Generation 0 means
 // nothing is published.
-func (s *Shared) LoadGen() (*SnipTable, int64) {
+func (s *Shared) LoadGen() (Table, int64) {
 	if pub := s.p.Load(); pub != nil {
 		return pub.t, pub.gen
 	}
@@ -77,7 +79,7 @@ func (s *Shared) LoadGen() (*SnipTable, int64) {
 // generation number. Readers holding the previous snapshot keep using it
 // until their next Load — the RCU grace period is implicit in Go's GC.
 // The displaced publication is retained for one Rollback.
-func (s *Shared) Swap(t *SnipTable) int64 {
+func (s *Shared) Swap(t Table) int64 {
 	t.Freeze()
 	s.mu.Lock()
 	defer s.mu.Unlock()

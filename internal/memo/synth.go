@@ -1,0 +1,98 @@
+package memo
+
+import (
+	"snip/internal/trace"
+)
+
+// Synthetic table population for lookup benchmarks: the flat-vs-map
+// microbenchmarks in this package and fleetbench's -lookup-sweep both
+// need tables of arbitrary row counts with a realistic shape — a few
+// In.Event fields folded into the bucket index, a few state fields
+// compared per candidate, and small multi-entry buckets. Everything
+// here is deterministic in (n, i).
+
+// SynthSelection returns the fixed selection the synthetic tables are
+// keyed on: two In.Event fields and three state fields (5 bytes of
+// state width per probe).
+func SynthSelection() Selection {
+	sel := Selection{"tap": {
+		{Name: "event.tap.x", Category: trace.InEvent, Size: 4},
+		{Name: "event.tap.y", Category: trace.InEvent, Size: 4},
+		{Name: "state.mode", Category: trace.InHistory, Size: 1},
+		{Name: "state.level", Category: trace.InHistory, Size: 2},
+		{Name: "state.combo", Category: trace.InHistory, Size: 2},
+	}}
+	sel.Canonicalize()
+	return sel
+}
+
+// synthRow returns the field values of synthetic row i in an n-row
+// table. The (x, y) grid is sized so buckets average ~4 entries
+// regardless of n, and combo disambiguates rows that share a bucket, so
+// all n rows are distinct.
+func synthRow(n, i int) (x, y, mode, level, combo uint64) {
+	ew := 1
+	for ew*ew*4 < n {
+		ew++
+	}
+	x = uint64(i % ew)
+	y = uint64((i / ew) % ew)
+	combo = uint64(i / (ew * ew))
+	return x, y, uint64(i % 3), uint64(i % 7), combo
+}
+
+// SynthTable builds a deterministic n-row table under SynthSelection.
+func SynthTable(n int) *SnipTable {
+	t := NewSnipTable(SynthSelection())
+	for i := 0; i < n; i++ {
+		x, y, mode, level, combo := synthRow(n, i)
+		t.Insert(&trace.Record{
+			EventSeq: int64(i), EventType: "tap", Instr: 100, StateChanged: true,
+			Inputs: []trace.Field{
+				{Name: "event.tap.x", Category: trace.InEvent, Size: 4, Value: x},
+				{Name: "event.tap.y", Category: trace.InEvent, Size: 4, Value: y},
+				{Name: "state.mode", Category: trace.InHistory, Size: 1, Value: mode},
+				{Name: "state.level", Category: trace.InHistory, Size: 2, Value: level},
+				{Name: "state.combo", Category: trace.InHistory, Size: 2, Value: combo},
+			},
+			Outputs: []trace.Field{
+				{Name: "state.out", Category: trace.OutHistory, Size: 4, Value: x + y + combo},
+				{Name: "frame.tile", Category: trace.OutTemp, Size: 8, Value: x ^ y},
+			},
+		})
+	}
+	return t
+}
+
+// SynthHit returns a resolver matching row i of an n-row SynthTable —
+// a guaranteed hit.
+func SynthHit(n, i int) Resolver {
+	x, y, mode, level, combo := synthRow(n, i)
+	return synthResolver(x, y, mode, level, combo)
+}
+
+// SynthMiss returns a resolver that lands in row i's (populated) bucket
+// but matches no entry — the in-bucket miss that scans the whole
+// candidate chain.
+func SynthMiss(n, i int) Resolver {
+	x, y, mode, level, _ := synthRow(n, i)
+	return synthResolver(x, y, mode, level, ^uint64(0))
+}
+
+func synthResolver(x, y, mode, level, combo uint64) Resolver {
+	return func(name string) (uint64, bool) {
+		switch name {
+		case "event.tap.x":
+			return x, true
+		case "event.tap.y":
+			return y, true
+		case "state.mode":
+			return mode, true
+		case "state.level":
+			return level, true
+		case "state.combo":
+			return combo, true
+		}
+		return 0, false
+	}
+}

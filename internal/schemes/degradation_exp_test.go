@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"snip/internal/chaos"
+	"snip/internal/memo"
 )
 
 // TestPoisonSweep prints the EXPERIMENTS.md device-level degradation row
@@ -16,7 +17,7 @@ func TestPoisonSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rate := range []float64{0, 0.10, 0.25, 0.50, 1.0} {
-		tab := table
+		var tab memo.Table = table
 		if rate > 0 {
 			inj := chaos.New(chaos.Profile{Name: "table", Seed: 7, TablePoisonRate: rate})
 			tab, _ = inj.MaybePoisonTable(table)

@@ -125,10 +125,9 @@ type SessionBatch struct {
 // stream: 4 marker bytes plus the big-endian CRC32 (IEEE) of the gzip
 // payload. A flipped or truncated body is rejected deterministically at
 // decode time instead of surfacing as a nondeterministic gob/gzip parse
-// error deep in the session data. Decoding still accepts trailerless
-// payloads from the previous release (the one-release compatibility
-// window); the accidental-marker collision probability for a legacy
-// payload is 2^-32 and vanishes once the window closes.
+// error deep in the session data. The trailer is mandatory: the
+// one-release compatibility window for trailerless payloads has closed,
+// so a batch without the marker is rejected as corrupt.
 const (
 	batchTrailerMagic = "SNPC"
 	batchTrailerLen   = len(batchTrailerMagic) + crc32.Size
@@ -182,12 +181,13 @@ func DecodeBatch(r io.Reader) (*SessionBatch, error) {
 	return DecodeBatchLimit(r, DefaultMaxDecodedBatch)
 }
 
-// DecodeBatchLimit reads a session batch, verifying the CRC32 trailer
-// when present (trailerless payloads from the previous wire release are
-// still accepted) and refusing to decompress more than maxDecoded bytes.
-// Corrupt input returns an error wrapping ErrBatchChecksum; oversized
-// input one wrapping ErrBatchTooLarge. It never panics, whatever the
-// input (pinned by FuzzDecodeBatch).
+// DecodeBatchLimit reads a session batch, verifying the mandatory CRC32
+// trailer and refusing to decompress more than maxDecoded bytes.
+// Trailerless payloads (the previous wire release) are rejected — the
+// one-release compatibility window has closed. Corrupt input returns an
+// error wrapping ErrBatchChecksum; oversized input one wrapping
+// ErrBatchTooLarge. It never panics, whatever the input (pinned by
+// FuzzDecodeBatch).
 func DecodeBatchLimit(r io.Reader, maxDecoded int64) (*SessionBatch, error) {
 	br := bufio.NewReader(r)
 	var magic [9]byte
@@ -201,13 +201,15 @@ func DecodeBatchLimit(r io.Reader, maxDecoded int64) (*SessionBatch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: decode batch: %w", err)
 	}
-	if n := len(payload); n >= batchTrailerLen &&
-		string(payload[n-batchTrailerLen:n-crc32.Size]) == batchTrailerMagic {
-		want := binary.BigEndian.Uint32(payload[n-crc32.Size:])
-		payload = payload[:n-batchTrailerLen]
-		if got := crc32.ChecksumIEEE(payload); got != want {
-			return nil, fmt.Errorf("%w: crc %08x, trailer says %08x", ErrBatchChecksum, got, want)
-		}
+	n := len(payload)
+	if n < batchTrailerLen ||
+		string(payload[n-batchTrailerLen:n-crc32.Size]) != batchTrailerMagic {
+		return nil, fmt.Errorf("%w: missing integrity trailer", ErrBatchChecksum)
+	}
+	want := binary.BigEndian.Uint32(payload[n-crc32.Size:])
+	payload = payload[:n-batchTrailerLen]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, trailer says %08x", ErrBatchChecksum, got, want)
 	}
 	zr, err := gzip.NewReader(bytes.NewReader(payload))
 	if err != nil {
@@ -225,9 +227,9 @@ func DecodeBatchLimit(r io.Reader, maxDecoded int64) (*SessionBatch, error) {
 		}
 		return nil, fmt.Errorf("trace: decode batch: %w", err)
 	}
-	// Anything left after the gob message is garbage — typically a
-	// truncated trailer masquerading as a legacy trailerless payload.
-	// (A genuine legacy payload ends exactly where the gob message does.)
+	// Anything left after the gob message inside the gzip stream is
+	// garbage — a stale or hand-spliced payload whose trailer happened to
+	// check out.
 	var tail [1]byte
 	if n, err := zr.Read(tail[:]); n != 0 || (err != nil && err != io.EOF) {
 		return nil, fmt.Errorf("%w: trailing garbage after batch payload", ErrBatchChecksum)

@@ -77,10 +77,10 @@ func TestBatchTruncationRejected(t *testing.T) {
 	}
 }
 
-// TestBatchLegacyTrailerless: a payload from the previous wire release —
-// magic + gzip(gob), no trailer — still decodes during the one-release
-// compatibility window.
-func TestBatchLegacyTrailerless(t *testing.T) {
+// TestBatchLegacyTrailerlessRejected: a payload from the pre-trailer
+// wire release — magic + gzip(gob), no trailer — is rejected as corrupt
+// now that the one-release compatibility window has closed.
+func TestBatchLegacyTrailerlessRejected(t *testing.T) {
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
 	if _, err := io.WriteString(bw, magicBatch); err != nil {
@@ -96,12 +96,9 @@ func TestBatchLegacyTrailerless(t *testing.T) {
 	if err := bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	out, err := DecodeBatch(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		t.Fatalf("legacy trailerless payload rejected: %v", err)
-	}
-	if out.Game != "Colorphun" || len(out.Sessions) != 2 {
-		t.Fatalf("legacy payload mangled: %+v", out)
+	_, err := DecodeBatch(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrBatchChecksum) {
+		t.Fatalf("trailerless payload: got %v, want ErrBatchChecksum", err)
 	}
 }
 
