@@ -77,11 +77,14 @@ func (i *Injector) MaybePoisonTable(t memo.Table) (memo.Table, int) {
 	bad := memo.FromWire(cp)
 	// Keep the victim's backend: a poisoned flat fetch publishes a
 	// poisoned flat table, so the guard exercises the same serving path
-	// the fleet actually runs.
+	// the fleet actually runs. A failed re-flatten falls back to the
+	// map-backed table — counted, because the run then exercises the
+	// wrong serving path and that fidelity loss must be observable.
 	if _, isFlat := t.(*memo.FlatTable); isFlat {
 		if ft, err := memo.Flatten(bad); err == nil {
 			return ft, poisoned
 		}
+		i.count(&i.flattenFallbacks, "table_flatten_fallback", 1)
 	}
 	return bad, poisoned
 }

@@ -132,6 +132,36 @@ func TestBatchCorruptCounted(t *testing.T) {
 	}
 }
 
+// TestBatchTrailerlessCounted: the previous release's framing — magic +
+// gzip(gob), no CRC trailer — answers 400 and lands in the trailerless
+// counter, not the corrupt one, so an incomplete fleet upgrade is
+// distinguishable from wire corruption during rollout.
+func TestBatchTrailerlessCounted(t *testing.T) {
+	svc, srv := testServer(t)
+	log := &trace.EventLog{Game: "Colorphun", Events: []trace.LoggedEvent{
+		{Type: "touch", Seq: 1, Time: 1000, Values: []int64{3}},
+	}}
+	var buf bytes.Buffer
+	err := trace.EncodeBatch(&buf, &trace.SessionBatch{
+		Game: "Colorphun", Sessions: []trace.SessionEvents{{Seed: 1, Log: log}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()[:buf.Len()-8] // strip "SNPC" + CRC32
+	resp, body := post(t, srv.URL+"/v1/upload-batch?game=Colorphun", bytes.NewReader(wire))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d body %q, want 400", resp.StatusCode, body)
+	}
+	snap := svc.Metrics().Snapshot()
+	if snap.Counters["snip_cloud_uploads_rejected_trailerless_total"] != 1 {
+		t.Fatal("trailerless rejection not counted")
+	}
+	if snap.Counters["snip_cloud_uploads_rejected_corrupt_total"] != 0 {
+		t.Fatal("trailerless rejection miscounted as corrupt")
+	}
+}
+
 // TestGuardEndpointDrivesHealthz walks the degraded→recovered cycle: an
 // open-breaker report flips /v1/healthz to 503/degraded with a failing
 // guard check; a closed-breaker report recovers it.

@@ -80,10 +80,14 @@ type serviceMetrics struct {
 	rebuilds     *obs.Counter
 	rebuildFails *obs.Counter
 	tablesServed *obs.Counter
-	// Deterministic ingest rejections: corrupt bodies (checksum/parse)
-	// and oversized ones (body or decoded-size cap).
-	rejectedCorrupt  *obs.Counter
-	rejectedOversize *obs.Counter
+	// Deterministic ingest rejections: corrupt bodies (checksum/parse),
+	// oversized ones (body or decoded-size cap), and trailerless batches
+	// (the previous wire release's framing — counted apart from genuine
+	// corruption so a not-fully-upgraded fleet shows up in rollout
+	// dashboards instead of hiding inside the corrupt series).
+	rejectedCorrupt     *obs.Counter
+	rejectedOversize    *obs.Counter
+	rejectedTrailerless *obs.Counter
 
 	requests  map[string]*obs.Counter   // by endpoint
 	errors    map[string]*obs.Counter   // by endpoint, status >= 400
@@ -112,6 +116,8 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"uploads rejected for failing the checksum or parse"),
 		rejectedOversize: reg.Counter("snip_cloud_uploads_rejected_oversize_total",
 			"uploads rejected for exceeding a body or decoded-size cap"),
+		rejectedTrailerless: reg.Counter("snip_cloud_uploads_rejected_trailerless_total",
+			"batch uploads rejected for the retired pre-trailer wire framing (prior-release writers)"),
 		requests:  make(map[string]*obs.Counter, len(endpointNames)),
 		errors:    make(map[string]*obs.Counter, len(endpointNames)),
 		latencyNS: make(map[string]*obs.Histogram, len(endpointNames)),
@@ -468,6 +474,14 @@ func (s *Service) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 			// the gzip-bomb signature.
 			s.met.rejectedOversize.Inc()
 			http.Error(w, "batch decoded size exceeds limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		if errors.Is(err, trace.ErrBatchTrailerless) {
+			// Not corruption: a prior-release writer that predates the
+			// mandatory trailer is still uploading. Counted separately so
+			// an incomplete fleet upgrade is visible during rollout.
+			s.met.rejectedTrailerless.Inc()
+			http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 			return
 		}
 		// Checksum mismatches and parse failures are one deterministic

@@ -431,6 +431,20 @@ func LoadFlatTable(img []byte) (*FlatTable, error) {
 	if arenaLen < flatDirLen {
 		return nil, corrupt("arena %d bytes, directory needs %d", arenaLen, flatDirLen)
 	}
+	// The header counts are attacker-controlled: bound each by what the
+	// arena could possibly hold BEFORE multiplying by a record size, so
+	// the section-size comparisons below cannot wrap uint64. Without
+	// this, slotCount 2^62 makes slotCount*4 wrap to 0, an empty slot
+	// section passes the size check, and the occupancy loop panics.
+	if bucketCount > arenaLen/flatBucketRecLen {
+		return nil, corrupt("bucket count %d cannot fit a %d-byte arena", bucketCount, arenaLen)
+	}
+	if slotCount > arenaLen/4 {
+		return nil, corrupt("slot count %d cannot fit a %d-byte arena", slotCount, arenaLen)
+	}
+	if entryCount > arenaLen/flatMetaRecLen {
+		return nil, corrupt("entry count %d cannot fit a %d-byte arena", entryCount, arenaLen)
+	}
 
 	// Section bounds: monotone offsets inside the arena; section i ends
 	// where section i+1 begins, the last one at the arena's end.
@@ -468,6 +482,10 @@ func LoadFlatTable(img []byte) (*FlatTable, error) {
 	eSlotCount := binary.LittleEndian.Uint64(es)
 	if eSlotCount == 0 || eSlotCount&(eSlotCount-1) != 0 {
 		return nil, corrupt("entry slot count %d not a power of two", eSlotCount)
+	}
+	// Same wrap hazard as the header counts: bound before multiplying.
+	if eSlotCount > (uint64(len(es))-8)/4 {
+		return nil, corrupt("entry slot count %d cannot fit a %d-byte section", eSlotCount, len(es))
 	}
 	if n := uint64(len(es)); n != 8+eSlotCount*4 {
 		return nil, corrupt("entry slot section %d bytes, %d slots need %d", n, eSlotCount, 8+eSlotCount*4)

@@ -184,6 +184,27 @@ func refreshCRCs(img []byte) {
 	binary.LittleEndian.PutUint32(img[52:], crc32.ChecksumIEEE(img[0:52]))
 }
 
+// cutSlotsDeclareHugeCount removes the slot-section bytes from the
+// arena (shifting the directory offsets of every later section and the
+// header's arena length) and sets slotCount to 2^62, whose *4 product
+// wraps uint64 to 0 and matches the empty section. Confirmed to panic
+// loaders that multiply before bounding the count.
+func cutSlotsDeclareHugeCount(img []byte) []byte {
+	dir := func(i int) uint64 {
+		return binary.LittleEndian.Uint64(img[flatHeaderLen+8*i:])
+	}
+	start, end := dir(secSlots), dir(secKeys)
+	delta := end - start
+	for i := secKeys; i < flatDirSections; i++ {
+		binary.LittleEndian.PutUint64(img[flatHeaderLen+8*i:], dir(i)-delta)
+	}
+	img = append(img[:flatHeaderLen+int(start)], img[flatHeaderLen+int(end):]...)
+	binary.LittleEndian.PutUint64(img[40:], binary.LittleEndian.Uint64(img[40:])-delta)
+	binary.LittleEndian.PutUint64(img[32:], 1<<62)
+	refreshCRCs(img)
+	return img
+}
+
 func TestLoadFlatTableRejects(t *testing.T) {
 	base := validImage(t)
 	cases := []struct {
@@ -231,6 +252,38 @@ func TestLoadFlatTableRejects(t *testing.T) {
 					break
 				}
 			}
+			refreshCRCs(img)
+			return img
+		}},
+		{"slot count product wraps", func(img []byte) []byte {
+			// 2^62 is a power of two and 2^62*4 wraps uint64 to 0; the
+			// pre-multiplication bound must fire, not the size match.
+			binary.LittleEndian.PutUint64(img[32:], 1<<62)
+			refreshCRCs(img)
+			return img
+		}},
+		{"slot count wraps onto empty section", func(img []byte) []byte {
+			// The PoC shape: physically cut the slot-section bytes out
+			// of the arena, then declare 2^62 slots. The wrapped product
+			// 2^62*4 == 0 matches the now-empty section, so a loader
+			// without the pre-multiplication bound sails through every
+			// size check and panics indexing the empty slice in the
+			// occupancy scan.
+			return cutSlotsDeclareHugeCount(img)
+		}},
+		{"entry count product wraps", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[16:], 1<<61) // *8 == 2^64
+			refreshCRCs(img)
+			return img
+		}},
+		{"bucket count product wraps", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[24:], 1<<62) // *24 wraps to 0
+			refreshCRCs(img)
+			return img
+		}},
+		{"entry slot count product wraps", func(img []byte) []byte {
+			off := int(binary.LittleEndian.Uint64(img[flatHeaderLen+8*secEntrySlots:])) + flatHeaderLen
+			binary.LittleEndian.PutUint64(img[off:], 1<<62) // 8+2^62*4 wraps to 8
 			refreshCRCs(img)
 			return img
 		}},

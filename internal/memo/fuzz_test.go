@@ -41,6 +41,17 @@ func FuzzLoadFlatTable(f *testing.F) {
 	mism := bytes.Clone(valid)
 	binary.LittleEndian.PutUint64(mism[16:], binary.LittleEndian.Uint64(mism[16:])+1)
 	f.Add(append([]byte("FIXC"), mism...))
+	// Overflow seeds: header counts whose product with the record size
+	// wraps uint64 (2^62*4 == 0, 2^61*8 == 0, 2^62*24 == 0), CRC-repaired
+	// so the pre-multiplication bounds are what must reject them.
+	for _, off := range []int{16, 24, 32} { // entry, bucket, slot counts
+		img := bytes.Clone(valid)
+		binary.LittleEndian.PutUint64(img[off:], 1<<62)
+		f.Add(append([]byte("FIXC"), img...))
+	}
+	// The confirmed-panic shape: slot-section bytes cut from the arena so
+	// the wrapped product 2^62*4 == 0 matches the empty section.
+	f.Add(append([]byte("FIXC"), cutSlotsDeclareHugeCount(bytes.Clone(valid))...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if bytes.HasPrefix(data, []byte("FIXC")) {

@@ -147,6 +147,12 @@ var (
 	// ErrBatchTooLarge marks a batch whose decompressed size exceeds the
 	// decoder's cap — a gzip bomb or a runaway client.
 	ErrBatchTooLarge = errors.New("trace: batch decoded size exceeds limit")
+	// ErrBatchTrailerless marks a batch with no integrity trailer at all —
+	// the previous wire release's framing, outside its compatibility
+	// window. It wraps ErrBatchChecksum, so corrupt-handling catches it
+	// unchanged; the distinct sentinel lets rollout dashboards tell "a
+	// prior-release writer is still uploading" from genuine corruption.
+	ErrBatchTrailerless = fmt.Errorf("%w: missing integrity trailer", ErrBatchChecksum)
 )
 
 // EncodeBatch writes a session batch as magic + gzip(gob) + CRC32
@@ -183,10 +189,10 @@ func DecodeBatch(r io.Reader) (*SessionBatch, error) {
 
 // DecodeBatchLimit reads a session batch, verifying the mandatory CRC32
 // trailer and refusing to decompress more than maxDecoded bytes.
-// Trailerless payloads (the previous wire release) are rejected — the
-// one-release compatibility window has closed. Corrupt input returns an
-// error wrapping ErrBatchChecksum; oversized input one wrapping
-// ErrBatchTooLarge. It never panics, whatever the input (pinned by
+// Trailerless payloads (the previous wire release) are rejected with
+// ErrBatchTrailerless — the one-release compatibility window has
+// closed. Corrupt input returns an error wrapping ErrBatchChecksum;
+// oversized input one wrapping ErrBatchTooLarge. It never panics, whatever the input (pinned by
 // FuzzDecodeBatch).
 func DecodeBatchLimit(r io.Reader, maxDecoded int64) (*SessionBatch, error) {
 	br := bufio.NewReader(r)
@@ -204,7 +210,7 @@ func DecodeBatchLimit(r io.Reader, maxDecoded int64) (*SessionBatch, error) {
 	n := len(payload)
 	if n < batchTrailerLen ||
 		string(payload[n-batchTrailerLen:n-crc32.Size]) != batchTrailerMagic {
-		return nil, fmt.Errorf("%w: missing integrity trailer", ErrBatchChecksum)
+		return nil, ErrBatchTrailerless
 	}
 	want := binary.BigEndian.Uint32(payload[n-crc32.Size:])
 	payload = payload[:n-batchTrailerLen]

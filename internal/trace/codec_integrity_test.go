@@ -100,6 +100,11 @@ func TestBatchLegacyTrailerlessRejected(t *testing.T) {
 	if !errors.Is(err, ErrBatchChecksum) {
 		t.Fatalf("trailerless payload: got %v, want ErrBatchChecksum", err)
 	}
+	// The distinct sentinel is what lets ingest metrics separate "old
+	// writer still deployed" from genuine corruption.
+	if !errors.Is(err, ErrBatchTrailerless) {
+		t.Fatalf("trailerless payload: got %v, want ErrBatchTrailerless", err)
+	}
 }
 
 // TestBatchDecodedCap: a valid-checksum gzip bomb must die at the decoded
