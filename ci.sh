@@ -30,8 +30,8 @@ go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./intern
 echo "== go test -race (fleet serving: shared table + device fleet + chaos)"
 go test -race ./internal/fleet ./internal/memo ./internal/chaos
 
-echo "== go test -race (tracing paths: span recording under concurrent drains)"
-go test -race -run 'Span|Trace|Healthz' ./internal/obs ./internal/cloud ./internal/fleet
+echo "== go test -race (tracing + telemetry paths: span recording and fleet rollups under concurrent drains)"
+go test -race -run 'Span|Trace|Healthz|Telemetry|Fleetz|Window' ./internal/obs ./internal/cloud ./internal/fleet
 
 echo "== fleet bench smoke (short run, then schema validation incl. health/SLO fields)"
 go run ./cmd/fleetbench -devices 1,2 -sessions 1 -secs 5 -profile-sessions 2 \
@@ -42,6 +42,7 @@ rm -f /tmp/snip_bench_fleet_smoke.json
 echo "== fuzz smoke (ingest decoders must reject arbitrary bytes, never panic)"
 go test -run '^$' -fuzz '^FuzzDecodeBatch$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzDecodeEventsOnly$' -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzDecodeTelemetry$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzDecodeUpdate$' -fuzztime 5s ./internal/cloud
 go test -run '^$' -fuzz '^FuzzLoadFlatTable$' -fuzztime 5s ./internal/memo
 
@@ -52,8 +53,8 @@ go run -race ./cmd/fleetbench -chaos all -chaos-seed 7 -shadow-rate 0.25 \
 go run ./cmd/fleetbench -validate /tmp/snip_bench_chaos_gate.json
 rm -f /tmp/snip_bench_chaos_gate.json
 
-echo "== allocation gate (memo lookup + metrics + span hot paths must stay 0 allocs/op)"
-alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord' \
+echo "== allocation gate (memo lookup + metrics + span + telemetry-window hot paths must stay 0 allocs/op)"
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord|WindowAdd|WindowObserveNil' \
 	-benchmem -benchtime 1000x ./internal/memo ./internal/obs)
 echo "$alloc_out"
 bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')

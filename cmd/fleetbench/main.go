@@ -2,7 +2,10 @@
 // trains a SNIP table, spins up an in-process cloud profiler, then runs
 // the device fleet at each requested concurrency, measuring fleet-wide
 // lookups/sec, p50/p99 probe latency, batched-upload wire bytes and the
-// live OTA swap. Results go to a JSON bench file.
+// live OTA swap. Results go to a JSON bench file. With telemetry on (the
+// default) each sweep point also ships per-generation device telemetry
+// and prints the cloud's drift / ingest-pressure verdicts from
+// GET /v1/fleetz.
 //
 // It also hosts the lookup-only microbench: -lookup-sweep measures the
 // map and flat table backends head to head across row counts (1k–10M)
@@ -51,10 +54,43 @@ type benchFile struct {
 	// guard's sampling rate (0 = guard off). Validation relaxes the
 	// strict invariants for chaos runs: crashed devices legitimately
 	// play fewer sessions and corrupted uploads legitimately retry.
-	Chaos      string              `json:"chaos,omitempty"`
-	ChaosSeed  uint64              `json:"chaos_seed,omitempty"`
-	ShadowRate float64             `json:"shadow_rate,omitempty"`
-	Runs       []*snip.FleetReport `json:"runs"`
+	Chaos      string  `json:"chaos,omitempty"`
+	ChaosSeed  uint64  `json:"chaos_seed,omitempty"`
+	ShadowRate float64 `json:"shadow_rate,omitempty"`
+	// Telemetry records whether the fleet shipped per-generation
+	// telemetry to the cloud's /v1/telemetry during the sweep; when set,
+	// validation requires every run to carry a consistent telemetry
+	// section.
+	Telemetry bool                `json:"telemetry,omitempty"`
+	Runs      []*snip.FleetReport `json:"runs"`
+}
+
+// fleetzReply mirrors the subset of GET /v1/fleetz the bench prints and
+// gates on: the per-game drift and ingest-pressure signals derived from
+// the telemetry the sweep just shipped.
+type fleetzReply struct {
+	Records int64        `json:"telemetry_records"`
+	Games   []fleetzGame `json:"games"`
+}
+
+type fleetzGame struct {
+	Game            string      `json:"game"`
+	LiveGeneration  int64       `json:"live_generation"`
+	PrevGeneration  int64       `json:"prev_generation"`
+	Drift           float64     `json:"drift"`
+	DriftVerdict    string      `json:"drift_verdict"`
+	Pressure        float64     `json:"pressure"`
+	PressureVerdict string      `json:"pressure_verdict"`
+	Generations     []fleetzGen `json:"generations"`
+}
+
+type fleetzGen struct {
+	Generation       int64   `json:"generation"`
+	Records          int64   `json:"records"`
+	Devices          int     `json:"devices"`
+	WindowedHitRate  float64 `json:"windowed_hit_rate"`
+	Mispredict       float64 `json:"windowed_mispredict_ratio"`
+	EffectiveHitRate float64 `json:"effective_hit_rate"`
 }
 
 func main() {
@@ -65,9 +101,11 @@ func main() {
 	batch := flag.Int("batch", 2, "sessions per batched upload")
 	profileSessions := flag.Int("profile-sessions", 4, "training sessions for the initial table")
 	ota := flag.Bool("ota", true, "perform a live OTA rebuild+swap mid-run")
+	refreshAfter := flag.Int("refresh-after", 0, "trigger the OTA refresh after this many uploaded sessions (0 = half the fleet's sessions)")
 	chaosProf := flag.String("chaos", "", "fault-injection profile: off|sensors|devices|wire|table|all")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
 	shadowRate := flag.Float64("shadow-rate", 0, "mispredict-guard shadow-verification sample rate (0 = guard off)")
+	telemetry := flag.Bool("telemetry", true, "fold per-generation device telemetry and ship it to the cloud's /v1/telemetry")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS")
 	gmp := flag.Int("gomaxprocs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default)")
 	backend := flag.String("backend", "flat", `table backend to serve: "flat" (zero-copy image) or "map" (legacy)`)
@@ -145,14 +183,15 @@ func main() {
 		SessionsPerDevice: *sessions, SessionSecs: *secs, BatchSize: *batch,
 		GoMaxProcs: runtime.GOMAXPROCS(0), Backend: *backend,
 		Chaos: *chaosProf, ChaosSeed: *chaosSeed, ShadowRate: *shadowRate,
+		Telemetry: *telemetry,
 	}
 	// One Metrics across the sweep: the snip_fleet_* series accumulate
 	// over every device count, and the span ring retains the tail of the
 	// last runs' traces.
 	met := snip.NewMetrics()
 	for _, n := range counts {
-		rep, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
-			*backend, *chaosProf, *chaosSeed, *shadowRate, met)
+		rep, fz, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
+			*refreshAfter, *backend, *chaosProf, *chaosSeed, *shadowRate, *telemetry, met)
 		fatalIf(err)
 		file.Runs = append(file.Runs, rep)
 		health := "healthy"
@@ -176,6 +215,25 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}
+		if rep.Telemetry != nil {
+			fmt.Fprintf(os.Stderr, "          telemetry: %d records / %d batches (%dB wire, dropped %d)\n",
+				rep.Telemetry.Records, rep.Telemetry.Batches,
+				rep.Telemetry.UploadBytes, rep.Telemetry.Dropped)
+		}
+		if fz != nil {
+			for _, g := range fz.Games {
+				fmt.Fprintf(os.Stderr,
+					"          fleetz: live_gen=%d prev=%d  drift=%+.3f (%s)  pressure=%.2f (%s)\n",
+					g.LiveGeneration, g.PrevGeneration, g.Drift, g.DriftVerdict,
+					g.Pressure, g.PressureVerdict)
+				for _, gen := range g.Generations {
+					fmt.Fprintf(os.Stderr,
+						"            gen %-2d  %3d records / %d devices  hit=%5.1f%%  mispredict=%4.1f%%  eff=%5.1f%%\n",
+						gen.Generation, gen.Records, gen.Devices, 100*gen.WindowedHitRate,
+						100*gen.Mispredict, 100*gen.EffectiveHitRate)
+				}
+			}
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -195,31 +253,43 @@ func main() {
 }
 
 // runOnce measures one device count against a fresh in-process cloud, so
-// sweep points don't feed each other's profiles.
+// sweep points don't feed each other's profiles. When telemetry is on it
+// also reads the cloud's /v1/fleetz rollup before the service goes away,
+// so the drift and ingest-pressure verdicts the run produced are visible
+// in the sweep output.
 func runOnce(game string, table *snip.Table, devices, sessions int,
-	dur time.Duration, batch int, ota bool, backend string,
-	chaosProf string, chaosSeed uint64, shadowRate float64, met *snip.Metrics) (*snip.FleetReport, error) {
+	dur time.Duration, batch int, ota bool, refreshAfter int, backend string,
+	chaosProf string, chaosSeed uint64, shadowRate float64, telemetry bool,
+	met *snip.Metrics) (*snip.FleetReport, *fleetzReply, error) {
 	svc := snip.NewCloudService(snip.DefaultPFIOptions())
 	svc.SetLegacyTables(backend == "map")
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
 
+	cloudURL := "http://" + ln.Addr().String()
 	opts := snip.FleetOptions{
 		Game: game, Devices: devices, SessionsPerDevice: sessions,
 		Duration: dur, SeedBase: 5000,
 		Table:     snip.NewSharedTable(table),
-		CloudURL:  "http://" + ln.Addr().String(),
+		CloudURL:  cloudURL,
 		BatchSize: batch,
 		Metrics:   met,
+		Telemetry: telemetry,
 	}
 	if ota {
-		// One live rebuild+swap once half the fleet's sessions are in.
+		// One live rebuild+swap once half the fleet's sessions are in —
+		// or earlier/later when -refresh-after overrides the midpoint
+		// (an early swap gives a bad OTA generation a longer live window,
+		// which is what makes the drift signal visible end to end).
 		opts.RefreshAfterSessions = (devices*sessions + 1) / 2
+		if refreshAfter > 0 {
+			opts.RefreshAfterSessions = refreshAfter
+		}
 	}
 	if chaosProf != "" && chaosProf != "off" {
 		opts.Chaos = &snip.ChaosOptions{Profile: chaosProf, Seed: chaosSeed}
@@ -227,7 +297,33 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 	if shadowRate > 0 {
 		opts.Guard = &snip.GuardOptions{ShadowSampleRate: shadowRate}
 	}
-	return snip.RunFleet(opts)
+	rep, err := snip.RunFleet(opts)
+	if err != nil || !telemetry {
+		return rep, nil, err
+	}
+	fz, err := fetchFleetz(cloudURL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleetz after run: %w", err)
+	}
+	return rep, fz, nil
+}
+
+// fetchFleetz reads the in-process cloud's fleet rollup. The service is
+// local and alive, so any failure here is a harness bug, not weather.
+func fetchFleetz(base string) (*fleetzReply, error) {
+	resp, err := http.Get(base + "/v1/fleetz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleetz: HTTP %d", resp.StatusCode)
+	}
+	var fz fleetzReply
+	if err := json.NewDecoder(resp.Body).Decode(&fz); err != nil {
+		return nil, err
+	}
+	return &fz, nil
 }
 
 func parseCounts(s string) ([]int, error) {
@@ -318,9 +414,45 @@ func validateFile(path string) error {
 				return fmt.Errorf("run %d: guard tripped with zero mispredicts", i)
 			}
 		}
+		if err := validateTelemetry(i, r, f.Telemetry, chaotic); err != nil {
+			return err
+		}
 		if err := validateHealth(i, r, chaotic); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateTelemetry checks the telemetry section against the bench
+// file's telemetry setting: an enabled pipeline must have folded records
+// and accounted for every one of them (shipped or explicitly dropped —
+// telemetry is best-effort but never silently lossy), and a disabled one
+// must not report anything.
+func validateTelemetry(i int, r *snip.FleetReport, enabled, chaotic bool) error {
+	t := r.Telemetry
+	if !enabled {
+		if t != nil {
+			return fmt.Errorf("run %d: telemetry report on a disabled run", i)
+		}
+		return nil
+	}
+	switch {
+	case t == nil:
+		return fmt.Errorf("run %d: telemetry enabled but no report", i)
+	case t.Records <= 0:
+		return fmt.Errorf("run %d: telemetry shipped no records", i)
+	case t.Dropped > t.Records:
+		return fmt.Errorf("run %d: dropped %d of %d telemetry records", i, t.Dropped, t.Records)
+	case t.Batches > 0 && t.UploadBytes <= 0:
+		return fmt.Errorf("run %d: %d telemetry batches but no wire bytes", i, t.Batches)
+	case t.Batches == 0 && t.Dropped < t.Records:
+		return fmt.Errorf("run %d: %d records neither shipped nor accounted lost", i, t.Records-t.Dropped)
+	}
+	// Clean runs talk to a healthy in-process cloud: best-effort loss is
+	// only legitimate under fault injection.
+	if !chaotic && t.Dropped != 0 {
+		return fmt.Errorf("run %d: %d telemetry records dropped without chaos", i, t.Dropped)
 	}
 	return nil
 }

@@ -1,7 +1,14 @@
 // Command snipstat is a live text dashboard for a running profilerd:
-// it polls /v1/healthz, /v1/metrics and /v1/tracez and renders the
-// service's health verdicts, the key ingest counters and the most
-// recent distributed traces.
+// it polls /v1/healthz, /v1/metrics, /v1/fleetz and /v1/tracez and
+// renders the service's health verdicts, the key ingest counters, the
+// fleet-telemetry rollups (per-generation hit-rate sparklines and the
+// drift / ingest-pressure verdicts) and the most recent distributed
+// traces.
+//
+// Every pane polls independently: a restarting or flapping cloud
+// degrades the affected panes in place ("unavailable: ...") while the
+// rest keep rendering, and the watch loop keeps polling until the
+// service comes back.
 //
 // Usage:
 //
@@ -56,6 +63,41 @@ type tracez struct {
 	Spans    []span `json:"spans"`
 }
 
+// fleetz mirrors the subset of GET /v1/fleetz the dashboard renders.
+type fleetz struct {
+	Batches int64        `json:"telemetry_batches"`
+	Records int64        `json:"telemetry_records"`
+	Games   []fleetzGame `json:"games"`
+}
+
+type fleetzGame struct {
+	Game            string      `json:"game"`
+	LiveGeneration  int64       `json:"live_generation"`
+	PrevGeneration  int64       `json:"prev_generation"`
+	Drift           float64     `json:"drift"`
+	DriftVerdict    string      `json:"drift_verdict"`
+	Pressure        float64     `json:"pressure"`
+	PressureVerdict string      `json:"pressure_verdict"`
+	Generations     []fleetzGen `json:"generations"`
+}
+
+type fleetzGen struct {
+	Generation       int64     `json:"generation"`
+	Records          int64     `json:"records"`
+	Devices          int       `json:"devices"`
+	WindowedHitRate  float64   `json:"windowed_hit_rate"`
+	Mispredict       float64   `json:"windowed_mispredict_ratio"`
+	EffectiveHitRate float64   `json:"effective_hit_rate"`
+	HitHistory       []wbucket `json:"hit_history"`
+}
+
+// wbucket is one windowed time-series bucket; for the hit-rate series
+// Sum counts hits and Count counts lookups.
+type wbucket struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+}
+
 func main() {
 	base := flag.String("url", "http://localhost:8080", "profilerd base URL")
 	interval := flag.Duration("interval", 2*time.Second, "poll interval")
@@ -64,12 +106,18 @@ func main() {
 	flag.Parse()
 
 	client := &http.Client{Timeout: 10 * time.Second}
+	url := strings.TrimRight(*base, "/")
+	failStreak := 0
 	for {
-		if err := render(os.Stdout, client, strings.TrimRight(*base, "/"), *traces, !*once); err != nil {
-			fmt.Fprintln(os.Stderr, "snipstat:", err)
+		failed, err := render(os.Stdout, client, url, *traces, !*once, failStreak)
+		if failed > 0 {
+			failStreak++
 			if *once {
+				fmt.Fprintln(os.Stderr, "snipstat:", err)
 				os.Exit(1)
 			}
+		} else {
+			failStreak = 0
 		}
 		if *once {
 			return
@@ -78,6 +126,9 @@ func main() {
 	}
 }
 
+// fetch reads one endpoint. A non-2xx status other than healthz's
+// deliberate 503-with-body is reported as an error so the pane degrades
+// instead of rendering garbage.
 func fetch(client *http.Client, url string) ([]byte, int, error) {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -88,30 +139,46 @@ func fetch(client *http.Client, url string) ([]byte, int, error) {
 	return b, resp.StatusCode, err
 }
 
-// render draws one dashboard frame. clear redraws in place (ANSI home +
-// wipe) for the watch loop; -once prints plainly for piping.
-func render(w io.Writer, client *http.Client, base string, traces int, clear bool) error {
-	hzBody, hzCode, err := fetch(client, base+"/v1/healthz")
+func fetchJSON(client *http.Client, url string, v any, allow503 bool) (int, error) {
+	b, code, err := fetch(client, url)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	if code != http.StatusOK && !(allow503 && code == http.StatusServiceUnavailable) {
+		return code, fmt.Errorf("HTTP %d", code)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return code, err
+	}
+	return code, nil
+}
+
+// render draws one dashboard frame. Every endpoint is fetched
+// independently; a failed fetch degrades its pane in place rather than
+// aborting the frame, so the dashboard survives cloud restarts and
+// transient errors mid-poll. It returns how many panes failed and the
+// first error. clear redraws in place (ANSI home + wipe) for the watch
+// loop; -once prints plainly for piping.
+func render(w io.Writer, client *http.Client, base string, traces int, clear bool, failStreak int) (int, error) {
 	var hz healthz
-	if err := json.Unmarshal(hzBody, &hz); err != nil {
-		return fmt.Errorf("healthz: %w", err)
+	// healthz deliberately answers 503 with a JSON body when degraded —
+	// that is a successful poll of an unhealthy service, not a failure.
+	hzCode, hzErr := fetchJSON(client, base+"/v1/healthz", &hz, true)
+
+	var series map[string]float64
+	metBody, metCode, metErr := fetch(client, base+"/v1/metrics")
+	if metErr == nil && metCode != http.StatusOK {
+		metErr = fmt.Errorf("HTTP %d", metCode)
 	}
-	metBody, _, err := fetch(client, base+"/v1/metrics")
-	if err != nil {
-		return err
+	if metErr == nil {
+		series = parsePrometheus(string(metBody))
 	}
-	series := parsePrometheus(string(metBody))
-	tzBody, _, err := fetch(client, base+"/v1/tracez?limit="+strconv.Itoa(traces))
-	if err != nil {
-		return err
-	}
+
+	var fz fleetz
+	_, fzErr := fetchJSON(client, base+"/v1/fleetz", &fz, false)
+
 	var tz tracez
-	if err := json.Unmarshal(tzBody, &tz); err != nil {
-		return fmt.Errorf("tracez: %w", err)
-	}
+	_, tzErr := fetchJSON(client, base+"/v1/tracez?limit="+strconv.Itoa(traces), &tz, false)
 
 	out := bufio.NewWriter(w)
 	defer out.Flush()
@@ -120,14 +187,24 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 	}
 
 	status := strings.ToUpper(hz.Status)
-	if hzCode != http.StatusOK && hz.Status == "ok" {
+	switch {
+	case hzErr != nil:
+		status = "UNREACHABLE"
+	case hzCode != http.StatusOK && hz.Status == "ok":
 		status = fmt.Sprintf("HTTP %d", hzCode)
 	}
-	fmt.Fprintf(out, "snipstat  %s  —  %s  up %s  games=%d  spans=%d\n",
+	fmt.Fprintf(out, "snipstat  %s  —  %s  up %s  games=%d  spans=%d",
 		base, status, time.Duration(hz.UptimeSeconds*float64(time.Second)).Round(time.Second),
 		hz.Games, hz.SpansRetained)
+	if failStreak > 0 {
+		fmt.Fprintf(out, "  (degraded for %d polls)", failStreak)
+	}
+	fmt.Fprintln(out)
 
 	fmt.Fprintln(out, "\nSLO checks")
+	if hzErr != nil {
+		fmt.Fprintf(out, "  (unavailable: %v)\n", hzErr)
+	}
 	for _, c := range hz.Checks {
 		mark := "ok  "
 		if !c.OK {
@@ -141,30 +218,63 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 	}
 
 	fmt.Fprintln(out, "\nIngest")
-	for _, row := range []struct{ label, series string }{
-		{"uploads", "snip_cloud_uploads_total"},
-		{"upload batches", "snip_cloud_upload_batches_total"},
-		{"records ingested", "snip_cloud_records_total"},
-		{"rebuilds", "snip_cloud_rebuilds_total"},
-		{"tables served", "snip_cloud_tables_served_total"},
-	} {
-		fmt.Fprintf(out, "  %-20s %12.0f\n", row.label, series[row.series])
-	}
-	fmt.Fprintln(out, "\nRequests by endpoint")
-	var eps []string
-	for name := range series {
-		if strings.HasPrefix(name, `snip_cloud_requests_total{endpoint="`) {
-			eps = append(eps, name)
+	if metErr != nil {
+		fmt.Fprintf(out, "  (unavailable: %v)\n", metErr)
+	} else {
+		for _, row := range []struct{ label, series string }{
+			{"uploads", "snip_cloud_uploads_total"},
+			{"upload batches", "snip_cloud_upload_batches_total"},
+			{"records ingested", "snip_cloud_records_total"},
+			{"telemetry batches", "snip_cloud_telemetry_batches_total"},
+			{"telemetry records", "snip_cloud_telemetry_records_total"},
+			{"rebuilds", "snip_cloud_rebuilds_total"},
+			{"tables served", "snip_cloud_tables_served_total"},
+		} {
+			fmt.Fprintf(out, "  %-20s %12.0f\n", row.label, series[row.series])
+		}
+		fmt.Fprintln(out, "\nRequests by endpoint")
+		var eps []string
+		for name := range series {
+			if strings.HasPrefix(name, `snip_cloud_requests_total{endpoint="`) {
+				eps = append(eps, name)
+			}
+		}
+		sort.Strings(eps)
+		for _, name := range eps {
+			ep := strings.TrimSuffix(strings.TrimPrefix(name, `snip_cloud_requests_total{endpoint="`), `"}`)
+			errs := series[`snip_cloud_request_errors_total{endpoint="`+ep+`"}`]
+			fmt.Fprintf(out, "  %-14s %10.0f req  %6.0f err\n", ep, series[name], errs)
 		}
 	}
-	sort.Strings(eps)
-	for _, name := range eps {
-		ep := strings.TrimSuffix(strings.TrimPrefix(name, `snip_cloud_requests_total{endpoint="`), `"}`)
-		errs := series[`snip_cloud_request_errors_total{endpoint="`+ep+`"}`]
-		fmt.Fprintf(out, "  %-14s %10.0f req  %6.0f err\n", ep, series[name], errs)
+
+	fmt.Fprintln(out, "\nFleet telemetry")
+	switch {
+	case fzErr != nil:
+		fmt.Fprintf(out, "  (unavailable: %v)\n", fzErr)
+	case len(fz.Games) == 0:
+		fmt.Fprintln(out, "  (no device telemetry reported yet)")
+	default:
+		fmt.Fprintf(out, "  %d records in %d batches\n", fz.Records, fz.Batches)
+		for _, g := range fz.Games {
+			fmt.Fprintf(out, "  %-14s live_gen=%d prev=%d  drift=%+.3f (%s)  pressure=%.2f (%s)\n",
+				g.Game, g.LiveGeneration, g.PrevGeneration, g.Drift, g.DriftVerdict,
+				g.Pressure, g.PressureVerdict)
+			for _, gen := range g.Generations {
+				live := " "
+				if gen.Generation == g.LiveGeneration {
+					live = "*"
+				}
+				fmt.Fprintf(out, "   %sgen %-3d hit=%5.1f%% eff=%5.1f%% mispredict=%4.1f%%  %-16s %d dev / %d rec\n",
+					live, gen.Generation, 100*gen.WindowedHitRate, 100*gen.EffectiveHitRate,
+					100*gen.Mispredict, sparkline(gen.HitHistory, 16), gen.Devices, gen.Records)
+			}
+		}
 	}
 
 	fmt.Fprintf(out, "\nRecent traces (%d recorded, %d retained)\n", tz.Total, tz.Retained)
+	if tzErr != nil {
+		fmt.Fprintf(out, "  (unavailable: %v)\n", tzErr)
+	}
 	for _, sp := range tz.Spans {
 		flag := " "
 		if sp.Err {
@@ -173,11 +283,50 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 		fmt.Fprintf(out, "  %s%s  %-20s %-7s %10s\n",
 			flag, sp.Trace, sp.Name, sp.Service, time.Duration(sp.WallNS).Round(time.Microsecond))
 	}
-	if !clear {
-		return nil
+	if clear {
+		fmt.Fprintln(out, "\n(ctrl-c to quit)")
 	}
-	fmt.Fprintln(out, "\n(ctrl-c to quit)")
-	return nil
+
+	failed := 0
+	var firstErr error
+	for _, err := range []error{hzErr, metErr, fzErr, tzErr} {
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return failed, firstErr
+}
+
+// sparkLevels are the eight block glyphs a hit-rate bucket maps onto.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the newest max buckets of a windowed ratio series
+// (Sum/Count in [0,1]) as a block-glyph strip, oldest first. Empty
+// buckets render as spaces so gaps in the window stay visible.
+func sparkline(hist []wbucket, max int) string {
+	if len(hist) > max {
+		hist = hist[len(hist)-max:]
+	}
+	var b strings.Builder
+	for _, bk := range hist {
+		if bk.Count <= 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		r := float64(bk.Sum) / float64(bk.Count)
+		i := int(r * float64(len(sparkLevels)))
+		if i >= len(sparkLevels) {
+			i = len(sparkLevels) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		b.WriteRune(sparkLevels[i])
+	}
+	return b.String()
 }
 
 // parsePrometheus reads text exposition format 0.0.4 into a flat

@@ -90,6 +90,17 @@ type FleetOptions struct {
 	// circuit breaker on the mispredict ratio, and automatic rollback of
 	// a bad OTA table. Nil disables.
 	Guard *GuardOptions
+	// Telemetry, when true, has every device fold per-table-generation
+	// tallies into compact records and ship them to the cloud's
+	// POST /v1/telemetry alongside the upload batches (requires
+	// CloudURL). The cloud aggregates them into the windowed fleet
+	// rollups served at GET /v1/fleetz. Telemetry consumes no
+	// randomness and no wall-clock: enabling it leaves every
+	// deterministic run tally byte-identical.
+	Telemetry bool
+	// TelemetryFlushRecords is how many folded records a device buffers
+	// before shipping a batch (default 8).
+	TelemetryFlushRecords int
 }
 
 // ChaosOptions selects a fault-injection profile for a fleet run.
@@ -207,6 +218,19 @@ type FleetReport struct {
 	Guard *FleetGuardReport `json:"guard,omitempty"`
 	// Chaos reports injected faults (nil when chaos was off).
 	Chaos *FleetChaosReport `json:"chaos,omitempty"`
+	// Telemetry reports the telemetry pipeline's shipping outcome (nil
+	// when disabled).
+	Telemetry *FleetTelemetryReport `json:"telemetry,omitempty"`
+}
+
+// FleetTelemetryReport summarizes the device→cloud telemetry pipeline:
+// records folded, batches/bytes shipped, and records lost to failed
+// best-effort uploads.
+type FleetTelemetryReport struct {
+	Records     int64 `json:"records"`
+	Batches     int64 `json:"batches"`
+	UploadBytes int64 `json:"upload_bytes"`
+	Dropped     int64 `json:"dropped"`
 }
 
 // RunFleet executes a fleet serving run and reports its aggregate rates.
@@ -251,6 +275,9 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 			MinShadowSamples:   o.Guard.MinShadowSamples,
 		}
 	}
+	if o.Telemetry {
+		cfg.Telemetry = &fleet.TelemetryConfig{FlushRecords: o.TelemetryFlushRecords}
+	}
 	if o.CloudURL != "" {
 		cfg.Client = cloud.NewClient(o.CloudURL)
 		cfg.Client.SetMetrics(o.Metrics.Registry())
@@ -292,7 +319,22 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		Health:          healthReport(r.Health),
 		Guard:           guardReport(r.Guard),
 		Chaos:           chaosReport(inj),
+		Telemetry:       telemetryReport(r.Telemetry),
 	}, nil
+}
+
+// telemetryReport mirrors the internal telemetry summary into the
+// public type.
+func telemetryReport(t *fleet.TelemetryReport) *FleetTelemetryReport {
+	if t == nil {
+		return nil
+	}
+	return &FleetTelemetryReport{
+		Records:     t.Records,
+		Batches:     t.Batches,
+		UploadBytes: t.UploadBytes.Bytes(),
+		Dropped:     t.Dropped,
+	}
 }
 
 // guardReport mirrors the internal guard summary into the public type.

@@ -50,6 +50,7 @@ type Service struct {
 	guards    map[string]GuardStatus
 	reg       *obs.Registry
 	met       *serviceMetrics
+	tel       *telemetryAggregator
 	spans     *obs.SpanBuffer
 	started   time.Time
 	log       *slog.Logger
@@ -88,6 +89,11 @@ type serviceMetrics struct {
 	rejectedCorrupt     *obs.Counter
 	rejectedOversize    *obs.Counter
 	rejectedTrailerless *obs.Counter
+	// Telemetry ingest accounting; dropped counts records rejected by
+	// the aggregator's game cap.
+	telemetryBatches *obs.Counter
+	telemetryRecords *obs.Counter
+	telemetryDropped *obs.Counter
 
 	requests  map[string]*obs.Counter   // by endpoint
 	errors    map[string]*obs.Counter   // by endpoint, status >= 400
@@ -97,11 +103,11 @@ type serviceMetrics struct {
 
 // endpoints the middleware tracks; fixed so every series exists from
 // the first scrape rather than appearing after first use.
-var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics", "healthz", "tracez", "guard"}
+var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics", "healthz", "tracez", "guard", "telemetry", "fleetz"}
 
 // ingestEndpoints are the ones whose error rate feeds the /v1/healthz
 // verdict — the data-path endpoints, not the introspection ones.
-var ingestEndpoints = []string{"upload", "upload-batch", "rebuild", "table"}
+var ingestEndpoints = []string{"upload", "upload-batch", "rebuild", "table", "telemetry"}
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	m := &serviceMetrics{
@@ -118,6 +124,12 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"uploads rejected for exceeding a body or decoded-size cap"),
 		rejectedTrailerless: reg.Counter("snip_cloud_uploads_rejected_trailerless_total",
 			"batch uploads rejected for the retired pre-trailer wire framing (prior-release writers)"),
+		telemetryBatches: reg.Counter("snip_cloud_telemetry_batches_total",
+			"device telemetry batches ingested"),
+		telemetryRecords: reg.Counter("snip_cloud_telemetry_records_total",
+			"device telemetry records folded into the fleet rollups"),
+		telemetryDropped: reg.Counter("snip_cloud_telemetry_dropped_total",
+			"telemetry records dropped by the aggregator's game cap"),
 		requests:  make(map[string]*obs.Counter, len(endpointNames)),
 		errors:    make(map[string]*obs.Counter, len(endpointNames)),
 		latencyNS: make(map[string]*obs.Histogram, len(endpointNames)),
@@ -141,15 +153,34 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 func NewService(cfg pfi.Config) *Service {
 	reg := obs.NewRegistry()
 	cfg.Obs = reg // rebuild-time PFI searches surface in /v1/metrics
-	return &Service{
+	s := &Service{
 		cfg:       cfg,
 		profilers: make(map[string]*Profiler),
 		guards:    make(map[string]GuardStatus),
 		reg:       reg,
 		met:       newServiceMetrics(reg),
+		tel:       newTelemetryAggregator(),
 		spans:     obs.NewSpanBuffer(obs.DefaultTracerCapacity),
 		started:   time.Now(),
 	}
+	s.setBuildInfo()
+	return s
+}
+
+// setBuildInfo refreshes the snip_build_info gauge: a constant-1 series
+// whose labels carry the build facts scrapers key dashboards on (flat
+// image layout version and the active table backend). The inactive
+// backend's series reads 0, so a backend flip is visible as a series
+// crossover rather than a label mutation.
+func (s *Service) setBuildInfo() {
+	help := "build/runtime facts as labels; the active configuration reads 1"
+	flat, gob := int64(1), int64(0)
+	if s.legacy {
+		flat, gob = 0, 1
+	}
+	layout := strconv.Itoa(memo.FlatLayoutVersion)
+	s.reg.Gauge(`snip_build_info{layout_version="`+layout+`",tables="flat"}`, help).Set(flat)
+	s.reg.Gauge(`snip_build_info{layout_version="`+layout+`",tables="gob"}`, help).Set(gob)
 }
 
 // Metrics returns the service's registry, for embedding its series into
@@ -175,6 +206,7 @@ func (s *Service) SetLegacyTables(v bool) {
 	for _, p := range s.profilers {
 		p.SetLegacyTables(v)
 	}
+	s.setBuildInfo()
 }
 
 func (s *Service) profiler(game string) *Profiler {
@@ -246,6 +278,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/tracez", s.instrument("tracez", s.handleTracez))
 	mux.HandleFunc("POST /v1/guard", s.instrument("guard", s.handleGuard))
+	mux.HandleFunc("POST /v1/telemetry", s.instrument("telemetry", s.handleTelemetry))
+	mux.HandleFunc("GET /v1/fleetz", s.instrument("fleetz", s.handleFleetz))
 	// net/http/pprof, wired explicitly (the service never touches the
 	// DefaultServeMux): CPU/heap/goroutine/block profiles for debugging
 	// a live profiler under fleet load.

@@ -97,6 +97,13 @@ type Config struct {
 	// on the cloud client's transport). Nil means no chaos and no code
 	// path even touches the injector.
 	Chaos *chaos.Injector
+	// Telemetry, when non-nil, enables the device→cloud telemetry
+	// pipeline: devices fold per-generation tallies into compact records
+	// at session boundaries and ship them to POST /v1/telemetry,
+	// piggybacked on the upload cadence. Requires Client. Telemetry
+	// consumes no randomness and reads no wall-clock, so enabling it
+	// leaves every deterministic run tally byte-identical.
+	Telemetry *TelemetryConfig
 	// Guard, when non-nil with a positive ShadowSampleRate, enables the
 	// sampled mispredict guard: shadow verification of memo hits, the
 	// circuit breaker, and automatic table rollback. Nil disables — and a
@@ -123,6 +130,9 @@ func (c Config) validate() error {
 	}
 	if c.RefreshAfterSessions > 0 && c.Client == nil {
 		return fmt.Errorf("fleet: OTA refresh needs a cloud client")
+	}
+	if c.Telemetry != nil && c.Client == nil {
+		return fmt.Errorf("fleet: telemetry needs a cloud client")
 	}
 	return nil
 }
@@ -189,6 +199,13 @@ type DeviceResult struct {
 	SavedInstr int64 `json:"saved_instr"`
 	// Retries counts transport retries across the device's uploads.
 	Retries int `json:"retries"`
+	// Telemetry accounting (zero when the pipeline is disabled):
+	// records folded, batches/bytes shipped, records lost to failed
+	// best-effort uploads.
+	TelemetryRecords int64      `json:"telemetry_records,omitempty"`
+	TelemetryBatches int64      `json:"telemetry_batches,omitempty"`
+	TelemetryBytes   units.Size `json:"telemetry_bytes,omitempty"`
+	TelemetryDropped int64      `json:"telemetry_dropped,omitempty"`
 	// P99LookupNS is the device's own p99 probe latency estimate.
 	P99LookupNS int64 `json:"p99_lookup_ns"`
 	// Failed marks a device that died mid-run (injected crash or a
@@ -243,9 +260,12 @@ type Result struct {
 	PerDevice []DeviceResult `json:"per_device,omitempty"`
 
 	// Guard reports the mispredict guard (nil when disabled); Chaos the
-	// injected-fault tallies (nil when no injector was configured).
-	Guard *GuardReport  `json:"guard,omitempty"`
-	Chaos *chaos.Counts `json:"chaos,omitempty"`
+	// injected-fault tallies (nil when no injector was configured);
+	// Telemetry the telemetry pipeline's shipping outcome (nil when
+	// disabled).
+	Guard     *GuardReport     `json:"guard,omitempty"`
+	Chaos     *chaos.Counts    `json:"chaos,omitempty"`
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
 
 	// Health is the run judged against the SLO envelope (Config.SLO or
 	// DefaultSLOConfig). Always set by Run.
@@ -272,6 +292,11 @@ type fleetMetrics struct {
 	swaps    *obs.Counter
 	failures *obs.Counter
 	lookupNS *obs.Histogram
+
+	telRecords *obs.Counter
+	telBatches *obs.Counter
+	telBytes   *obs.Counter
+	telDropped *obs.Counter
 }
 
 func newFleetMetrics(reg *obs.Registry) fleetMetrics {
@@ -285,6 +310,11 @@ func newFleetMetrics(reg *obs.Registry) fleetMetrics {
 		swaps:    reg.Counter("snip_fleet_table_swaps_total", "live OTA table swaps observed by the fleet"),
 		failures: reg.Counter("snip_fleet_device_failures_total", "devices that died mid-run and were isolated"),
 		lookupNS: reg.Histogram("snip_fleet_lookup_ns", "shared-table probe wall time in nanoseconds", obs.NanoBuckets()),
+
+		telRecords: reg.Counter("snip_fleet_telemetry_records_total", "telemetry records folded by the fleet's devices"),
+		telBatches: reg.Counter("snip_fleet_telemetry_batches_total", "telemetry batches shipped to the cloud"),
+		telBytes:   reg.Counter("snip_fleet_telemetry_bytes_total", "compressed telemetry bytes put on the wire"),
+		telDropped: reg.Counter("snip_fleet_telemetry_dropped_total", "telemetry records dropped by failed best-effort uploads"),
 	}
 }
 
@@ -345,6 +375,7 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 	if err != nil {
 		return res, hist, err
 	}
+	tel := newDeviceTelemetry(co, id)
 
 	var pending []trace.SessionEvents
 	flush := func() error {
@@ -378,6 +409,9 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		co.met.batches.Inc()
 		co.met.bytes.Add(int64(br.Wire))
 		pending = pending[:0]
+		// Piggyback: telemetry rides the upload cadence, shipping its own
+		// batch only when enough records have accumulated.
+		tel.flush(&res, false)
 		return co.maybeRefresh()
 	}
 
@@ -396,7 +430,7 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 			return res, hist, fmt.Errorf("fleet: device %d session %d: %w", id, s, chaos.ErrDeviceCrash)
 		}
 		seed := cfg.SeedBase + uint64(id*cfg.SessionsPerDevice+s)
-		log, err := co.session(game, gen, seed, &res, hist)
+		log, err := co.session(game, gen, seed, &res, hist, tel)
 		if err != nil {
 			return res, hist, err
 		}
@@ -404,14 +438,19 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		co.met.sessions.Inc()
 		if cfg.Client != nil {
 			pending = append(pending, trace.SessionEvents{Seed: seed, Log: log})
-			if len(pending) >= batch {
-				if err := flush(); err != nil {
-					return res, hist, err
-				}
+		}
+		tel.fold(s, &res, len(pending), batch)
+		if len(pending) >= batch {
+			if err := flush(); err != nil {
+				return res, hist, err
 			}
 		}
 	}
-	return res, hist, flush()
+	err = flush()
+	// Forced final flush: ship whatever telemetry remains even when the
+	// last upload failed — drops are counted, never silent.
+	tel.flush(&res, true)
+	return res, hist, err
 }
 
 // session plays one seed on the device's game instance: every delivered
@@ -419,7 +458,7 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 // short-circuits (ApplyOutputs) or executes the handler — the same
 // decision the SNIP scheme makes, minus the energy simulation.
 func (co *coordinator) session(game games.Game, gen workload.Generator, seed uint64,
-	res *DeviceResult, hist *latHist) (*trace.EventLog, error) {
+	res *DeviceResult, hist *latHist, tel *deviceTelemetry) (*trace.EventLog, error) {
 	cfg := co.cfg
 	sc := co.sessionCtx(seed)
 	sessionStart := time.Now()
@@ -469,6 +508,7 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 			})
 		}
 		tab, tabGen := cfg.Table.LoadGen()
+		tel.noteEvent(tabGen)
 		if tab == nil || co.guard.isOpen() {
 			// No table yet, or the breaker judged the current one unsafe:
 			// execute the handler in full. Always correct, never efficient
@@ -492,6 +532,7 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 		// histogram back to a concrete trace ID.
 		co.met.lookupNS.ObserveExemplar(ns, sc.Trace)
 		st.Observe(probes, cmpBytes, hit)
+		tel.noteLookup(tabGen, ns, hit)
 		if hit {
 			if shadowSrc != nil && shadowSrc.Bool(co.guard.cfg.ShadowSampleRate) {
 				// Sampled shadow verification: run the real handler on a
@@ -500,6 +541,7 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 				truth := game.Clone().Process(e).Record
 				mispredict := !trace.OutputsMatch(entry.Outputs, truth.Outputs)
 				co.guard.observe(tabGen, mispredict)
+				tel.noteShadow(tabGen, mispredict)
 				if mispredict {
 					// The shadow clone already computed the correct
 					// outputs; applying the table's wrong ones anyway
@@ -511,6 +553,7 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 				}
 			}
 			res.SavedInstr += entry.Instr
+			tel.noteSaved(tabGen, entry.Instr)
 			game.ApplyOutputs(entry.Outputs)
 		} else {
 			game.Process(e)
@@ -588,6 +631,9 @@ func Run(cfg Config) (*Result, error) {
 		c := cfg.Chaos.Counts()
 		res.Chaos = &c
 	}
+	if cfg.Telemetry != nil {
+		res.Telemetry = &TelemetryReport{}
+	}
 	merged := &latHist{}
 	for d := range results {
 		results[d].P99LookupNS = hists[d].quantile(0.99)
@@ -599,6 +645,12 @@ func Run(cfg Config) (*Result, error) {
 		res.UploadBytes += dr.UploadBytes
 		res.RawBytes += dr.RawBytes
 		res.Retries += dr.Retries
+		if res.Telemetry != nil {
+			res.Telemetry.Records += dr.TelemetryRecords
+			res.Telemetry.Batches += dr.TelemetryBatches
+			res.Telemetry.UploadBytes += dr.TelemetryBytes
+			res.Telemetry.Dropped += dr.TelemetryDropped
+		}
 		merged.merge(hists[d])
 	}
 	if secs := wall.Seconds(); secs > 0 {

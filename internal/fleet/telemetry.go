@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"snip/internal/obs"
+	"snip/internal/trace"
+	"snip/internal/units"
+)
+
+// Device-side telemetry: each device folds its per-table-generation
+// tallies into compact trace.TelemetryRecords at session boundaries and
+// ships them to the cloud over POST /v1/telemetry, piggyback-flushed
+// alongside the upload batches so telemetry adds no extra connection
+// churn. The pipeline is deliberately decoupled from correctness:
+//
+//   - It consumes no randomness and reads no wall-clock — record
+//     timestamps are the deterministic simulated session clock — so a
+//     telemetry-enabled run produces byte-identical game results,
+//     lookups and energy tallies to a disabled one (pinned by
+//     TestFleetTelemetryDoesNotPerturbRun).
+//   - Shipping is best-effort. A failed telemetry upload drops the
+//     records (counted in TelemetryDropped) and the device plays on;
+//     telemetry must never kill a device that is serving fine.
+
+// DefaultTelemetryFlushRecords is how many folded records a device
+// buffers before shipping a batch when the config doesn't say.
+const DefaultTelemetryFlushRecords = 8
+
+// TelemetryConfig enables the device→cloud telemetry pipeline.
+type TelemetryConfig struct {
+	// FlushRecords is how many folded records a device buffers before
+	// shipping a telemetry batch; <= 0 means
+	// DefaultTelemetryFlushRecords. A forced flush at device end ships
+	// whatever remains.
+	FlushRecords int
+}
+
+func (c *TelemetryConfig) flushRecords() int {
+	if c == nil || c.FlushRecords <= 0 {
+		return DefaultTelemetryFlushRecords
+	}
+	return c.FlushRecords
+}
+
+// TelemetryReport aggregates the fleet's telemetry-shipping outcome.
+type TelemetryReport struct {
+	// Records were folded; Batches/UploadBytes what shipping them cost.
+	Records     int64      `json:"records"`
+	Batches     int64      `json:"batches"`
+	UploadBytes units.Size `json:"upload_bytes"`
+	// Dropped counts records lost to failed telemetry uploads —
+	// best-effort by design, so drops degrade visibility, not serving.
+	Dropped int64 `json:"dropped"`
+}
+
+// telemetryAccum is one device's in-progress tally for one table
+// generation over the current fold interval (one session).
+type telemetryAccum struct {
+	sessions   int64
+	events     int64
+	lookups    int64
+	hits       int64
+	shadow     int64
+	mispredict int64
+	savedInstr int64
+	hist       latHist
+}
+
+// deviceTelemetry is one device's folding + shipping state. All methods
+// are nil-safe no-ops so the session loop stays branch-light when
+// telemetry is disabled.
+type deviceTelemetry struct {
+	co      *coordinator
+	device  int
+	flushAt int
+	// gens accumulates the current session's tallies per generation;
+	// order remembers first-touch order, which is deterministic because
+	// the event stream is — records emit in it, so fold output never
+	// depends on map iteration.
+	gens    map[int64]*telemetryAccum
+	order   []int64
+	pending []trace.TelemetryRecord
+	// lastRetries tracks the device's retry counter so each fold ships
+	// only the interval's delta.
+	lastRetries int
+}
+
+func newDeviceTelemetry(co *coordinator, device int) *deviceTelemetry {
+	if co.cfg.Telemetry == nil || co.cfg.Client == nil {
+		return nil
+	}
+	return &deviceTelemetry{
+		co:      co,
+		device:  device,
+		flushAt: co.cfg.Telemetry.flushRecords(),
+		gens:    make(map[int64]*telemetryAccum),
+	}
+}
+
+func (t *deviceTelemetry) accum(gen int64) *telemetryAccum {
+	a, ok := t.gens[gen]
+	if !ok {
+		a = &telemetryAccum{}
+		t.gens[gen] = a
+		t.order = append(t.order, gen)
+	}
+	return a
+}
+
+// noteEvent attributes one delivered event to the generation whose
+// table snapshot served it (0 while no table is published).
+func (t *deviceTelemetry) noteEvent(gen int64) {
+	if t == nil {
+		return
+	}
+	t.accum(gen).events++
+}
+
+func (t *deviceTelemetry) noteLookup(gen int64, ns int64, hit bool) {
+	if t == nil {
+		return
+	}
+	a := t.accum(gen)
+	a.lookups++
+	if hit {
+		a.hits++
+	}
+	a.hist.observe(ns)
+}
+
+func (t *deviceTelemetry) noteShadow(gen int64, mispredict bool) {
+	if t == nil {
+		return
+	}
+	a := t.accum(gen)
+	a.shadow++
+	if mispredict {
+		a.mispredict++
+	}
+}
+
+func (t *deviceTelemetry) noteSaved(gen int64, instr int64) {
+	if t == nil {
+		return
+	}
+	t.accum(gen).savedInstr += instr
+}
+
+// fold closes the session's interval: one TelemetryRecord per touched
+// generation, stamped with the session's deterministic simulated end
+// time, queued for the next flush. queueDepth is the device's pending
+// upload-batch occupancy at fold time.
+func (t *deviceTelemetry) fold(session int, res *DeviceResult, queueDepth, queueCap int) {
+	if t == nil || len(t.order) == 0 {
+		return
+	}
+	simTimeUS := int64(session+1) * int64(t.co.cfg.SessionDuration)
+	retries := int64(res.Retries - t.lastRetries)
+	t.lastRetries = res.Retries
+	for _, gen := range t.order {
+		a := t.gens[gen]
+		rec := trace.TelemetryRecord{
+			Device:           t.device,
+			SimTimeUS:        simTimeUS,
+			Generation:       gen,
+			Sessions:         1,
+			Events:           a.events,
+			Lookups:          a.lookups,
+			Hits:             a.hits,
+			ShadowChecks:     a.shadow,
+			Mispredicts:      a.mispredict,
+			SavedInstr:       a.savedInstr,
+			P99LookupNS:      a.hist.quantile(0.99),
+			Retries:          retries,
+			QueueDepth:       int64(queueDepth),
+			QueueCap:         int64(queueCap),
+			TelemetryPending: int64(len(t.pending)),
+			TelemetryCap:     int64(t.flushAt),
+		}
+		retries = 0 // the interval's delta rides the first record only
+		t.pending = append(t.pending, rec)
+		res.TelemetryRecords++
+		t.co.met.telRecords.Inc()
+		delete(t.gens, gen)
+	}
+	t.order = t.order[:0]
+}
+
+// flush ships the pending records if the buffer is full (or force).
+// Best-effort: a failed upload drops the records and the device plays
+// on — serving health must not depend on telemetry health.
+func (t *deviceTelemetry) flush(res *DeviceResult, force bool) {
+	if t == nil || len(t.pending) == 0 || (!force && len(t.pending) < t.flushAt) {
+		return
+	}
+	// The batch gets its own deterministic trace root, salted off the
+	// device index so the cloud-side ingest spans of different devices
+	// land in different traces.
+	sc := obs.Root(obs.NewTraceID(uint64(t.device), t.co.salt^obs.HashName("telemetry")))
+	br, err := t.co.cfg.Client.UploadTelemetry(t.co.cfg.Game, t.pending, sc)
+	res.Retries += br.Retries
+	if err != nil {
+		res.TelemetryDropped += int64(len(t.pending))
+		t.co.met.telDropped.Add(int64(len(t.pending)))
+	} else {
+		res.TelemetryBatches++
+		res.TelemetryBytes += br.Wire
+		t.co.met.telBatches.Inc()
+		t.co.met.telBytes.Add(int64(br.Wire))
+	}
+	t.pending = t.pending[:0]
+}

@@ -91,6 +91,27 @@ func BenchmarkHistogramObserveExemplar(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowAdd is the windowed time-series half of the
+// allocation gate: folding a pre-aggregated pair into a sim-time bucket
+// must stay 0 allocs/op (ci.sh fails otherwise).
+func BenchmarkWindowAdd(b *testing.B) {
+	w := NewWindow(1_000_000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(int64(i&0xFFFFF), 3, 7)
+	}
+}
+
+func BenchmarkWindowObserveNil(b *testing.B) {
+	var w *Window
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(int64(i), 1)
+	}
+}
+
 func BenchmarkTracerRecord(b *testing.B) {
 	tr := NewTracer(1024)
 	c := Chain{Game: "Colorphun", EventType: "tap", Probed: true, Hit: true}

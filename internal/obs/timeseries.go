@@ -1,0 +1,206 @@
+package obs
+
+import "sync/atomic"
+
+// This file is the windowed time-series half of the observability core:
+// a fixed-size ring of buckets keyed by deterministic *simulated* time.
+// The fleet telemetry pipeline folds per-generation tallies into
+// windows so the cloud can answer "what is the hit rate *lately*", not
+// just "what has it been since boot" — the signal drift detection and
+// admission control read.
+//
+// The same two properties as the rest of the package hold:
+//
+//   - Allocation-free record path. Add is a handful of atomic
+//     operations on pre-allocated buckets — 0 allocs/op, pinned by
+//     bench_test.go and the ci.sh allocation gate.
+//   - Deterministic keying. Buckets are addressed by simulated
+//     microseconds, never wall-clock, so the same seeds produce the
+//     same bucket contents run after run and attaching a window
+//     perturbs nothing (figures stay byte-identical).
+//
+// A nil *Window is a valid no-op, mirroring the nil-registry contract.
+
+// WindowBucket is the exported state of one time bucket.
+type WindowBucket struct {
+	// StartUS is the bucket's inclusive start on the simulated clock.
+	StartUS int64 `json:"start_us"`
+	// Count and Sum accumulate the folded (sum, count) pairs; the bucket
+	// mean is Sum/Count. For a ratio series (hits per lookup) Sum carries
+	// the numerator and Count the denominator.
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	// Max is the largest single Add'd sum — a per-bucket ceiling for
+	// latency-style series.
+	Max int64 `json:"max"`
+}
+
+// windowBucket is the live form: epoch claims the ring slot for one
+// time bucket (stored as epoch+1 so zero means "never used").
+type windowBucket struct {
+	epoch atomic.Int64
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Window is a fixed ring of time buckets over a deterministic simulated
+// clock. Observations land in the bucket containing their timestamp;
+// when simulated time advances past the ring's span, the oldest bucket
+// is reset and reused, and observations older than the retained span
+// are dropped (counted in Stale). Concurrent use is safe; a rare
+// epoch-transition race can fold a straggler into the bucket that
+// recycled its slot — acceptable for telemetry rollups, which trade
+// exactness at bucket edges for a lock-free record path.
+type Window struct {
+	widthUS  int64
+	buckets  []windowBucket
+	maxEpoch atomic.Int64 // highest epoch+1 ever observed
+	stale    atomic.Int64
+}
+
+// NewWindow returns a window of the given bucket width (simulated
+// microseconds; <= 0 means one second) and bucket count (<= 0 means 64).
+func NewWindow(bucketWidthUS int64, buckets int) *Window {
+	if bucketWidthUS <= 0 {
+		bucketWidthUS = 1_000_000
+	}
+	if buckets <= 0 {
+		buckets = 64
+	}
+	return &Window{widthUS: bucketWidthUS, buckets: make([]windowBucket, buckets)}
+}
+
+// Observe folds a single value at simulated time tUS.
+func (w *Window) Observe(tUS, v int64) { w.Add(tUS, v, 1) }
+
+// Add folds a pre-aggregated (sum, count) pair into the bucket holding
+// tUS — how a telemetry record's (hits, lookups) tally lands in one
+// call. Negative timestamps and non-positive counts are ignored;
+// observations older than the retained span are dropped and counted.
+// Allocation-free.
+func (w *Window) Add(tUS, sum, count int64) {
+	if w == nil || tUS < 0 || count <= 0 {
+		return
+	}
+	e := tUS/w.widthUS + 1
+	b := &w.buckets[int((e-1)%int64(len(w.buckets)))]
+	for {
+		cur := b.epoch.Load()
+		if cur == e {
+			break
+		}
+		if cur > e {
+			// The slot already belongs to a newer bucket: this
+			// observation predates the retained span.
+			w.stale.Add(1)
+			return
+		}
+		if b.epoch.CompareAndSwap(cur, e) {
+			b.count.Store(0)
+			b.sum.Store(0)
+			b.max.Store(0)
+			break
+		}
+	}
+	b.count.Add(count)
+	b.sum.Add(sum)
+	for {
+		m := b.max.Load()
+		if sum <= m {
+			break
+		}
+		if b.max.CompareAndSwap(m, sum) {
+			break
+		}
+	}
+	for {
+		m := w.maxEpoch.Load()
+		if e <= m {
+			break
+		}
+		if w.maxEpoch.CompareAndSwap(m, e) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the retained buckets oldest-first, skipping empty
+// slots. The copy is not atomic across buckets — concurrent Adds may
+// straddle it — which is fine for the dashboards it feeds.
+func (w *Window) Snapshot() []WindowBucket {
+	if w == nil {
+		return nil
+	}
+	maxE := w.maxEpoch.Load()
+	if maxE == 0 {
+		return nil
+	}
+	minE := maxE - int64(len(w.buckets)) + 1
+	if minE < 1 {
+		minE = 1
+	}
+	out := make([]WindowBucket, 0, maxE-minE+1)
+	for e := minE; e <= maxE; e++ {
+		b := &w.buckets[int((e-1)%int64(len(w.buckets)))]
+		if b.epoch.Load() != e {
+			continue
+		}
+		c := b.count.Load()
+		if c == 0 {
+			continue
+		}
+		out = append(out, WindowBucket{
+			StartUS: (e - 1) * w.widthUS,
+			Count:   c,
+			Sum:     b.sum.Load(),
+			Max:     b.max.Load(),
+		})
+	}
+	return out
+}
+
+// Totals sums (sum, count) over every retained bucket.
+func (w *Window) Totals() (sum, count int64) {
+	for _, b := range w.Snapshot() {
+		sum += b.Sum
+		count += b.Count
+	}
+	return sum, count
+}
+
+// Rate returns Sum/Count over the retained window (0 when empty) — the
+// windowed hit rate when Add was fed (hits, lookups) pairs.
+func (w *Window) Rate() float64 {
+	sum, count := w.Totals()
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// Stale returns how many observations were dropped for predating the
+// retained span.
+func (w *Window) Stale() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.stale.Load()
+}
+
+// BucketWidthUS returns the bucket width in simulated microseconds
+// (0 on a nil window).
+func (w *Window) BucketWidthUS() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.widthUS
+}
+
+// Buckets returns the ring capacity (0 on a nil window).
+func (w *Window) Buckets() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.buckets)
+}

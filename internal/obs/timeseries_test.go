@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWindowNilSafe(t *testing.T) {
+	var w *Window
+	w.Observe(10, 1)
+	w.Add(10, 2, 3)
+	if got := w.Snapshot(); got != nil {
+		t.Fatalf("nil window snapshot = %v, want nil", got)
+	}
+	if w.Rate() != 0 || w.Stale() != 0 || w.BucketWidthUS() != 0 || w.Buckets() != 0 {
+		t.Fatal("nil window accessors must all report zero")
+	}
+}
+
+func TestWindowBucketsAndRates(t *testing.T) {
+	w := NewWindow(1_000_000, 8) // 1s buckets
+	// Two buckets: [0,1s) gets 3 hits of 4 lookups, [1s,2s) 1 of 4.
+	w.Add(100, 3, 4)
+	w.Add(1_500_000, 1, 4)
+	snap := w.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d buckets, want 2: %+v", len(snap), snap)
+	}
+	if snap[0].StartUS != 0 || snap[0].Sum != 3 || snap[0].Count != 4 {
+		t.Fatalf("bucket 0 = %+v, want start=0 sum=3 count=4", snap[0])
+	}
+	if snap[1].StartUS != 1_000_000 || snap[1].Sum != 1 || snap[1].Count != 4 {
+		t.Fatalf("bucket 1 = %+v, want start=1s sum=1 count=4", snap[1])
+	}
+	if got, want := w.Rate(), 0.5; got != want {
+		t.Fatalf("windowed rate %v, want %v", got, want)
+	}
+}
+
+func TestWindowMaxTracksLargestAdd(t *testing.T) {
+	w := NewWindow(1_000_000, 4)
+	w.Observe(10, 700)
+	w.Observe(20, 2500)
+	w.Observe(30, 100)
+	snap := w.Snapshot()
+	if len(snap) != 1 || snap[0].Max != 2500 {
+		t.Fatalf("snapshot %+v, want one bucket with max 2500", snap)
+	}
+}
+
+// TestWindowEvictionAndStale pins the ring semantics: advancing past the
+// span recycles the oldest slot, and observations older than the
+// retained span are dropped and counted, never resurrected.
+func TestWindowEvictionAndStale(t *testing.T) {
+	w := NewWindow(1_000_000, 4)
+	w.Observe(0, 1)         // bucket epoch 1 (slot 0)
+	w.Observe(4_000_000, 1) // bucket epoch 5 reuses slot 0, evicting epoch 1
+	snap := w.Snapshot()
+	if len(snap) != 1 || snap[0].StartUS != 4_000_000 {
+		t.Fatalf("snapshot %+v, want only the 4s bucket", snap)
+	}
+	// A straggler for the evicted bucket must not land anywhere.
+	w.Observe(100, 1)
+	if got := w.Stale(); got != 1 {
+		t.Fatalf("stale = %d, want 1", got)
+	}
+	snap = w.Snapshot()
+	if len(snap) != 1 || snap[0].Count != 1 {
+		t.Fatalf("stale observation perturbed the window: %+v", snap)
+	}
+}
+
+// TestWindowDeterministic: the same simulated-time observation stream
+// yields identical snapshots — the property that keeps telemetry out of
+// the figures.
+func TestWindowDeterministic(t *testing.T) {
+	run := func() []WindowBucket {
+		w := NewWindow(500_000, 16)
+		for i := int64(0); i < 200; i++ {
+			w.Add(i*37_000, i%5, 7)
+		}
+		return w.Snapshot()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWindowConcurrentAdds drives the record path from many goroutines
+// under the race detector; totals must not lose counts within one
+// stable epoch.
+func TestWindowConcurrentAdds(t *testing.T) {
+	w := NewWindow(1_000_000, 8)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Add(int64(g%4)*1_000_000, 1, 2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	sum, count := w.Totals()
+	if want := int64(goroutines * per); sum != want || count != 2*want {
+		t.Fatalf("totals sum=%d count=%d, want %d and %d", sum, count, want, 2*want)
+	}
+}

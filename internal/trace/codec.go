@@ -21,12 +21,13 @@ import (
 // keep the client overhead negligible; EncodeEventsOnly implements that
 // reduced form.
 
-// magic distinguishes full profiles, events-only profiles and gzip'd
-// session batches on the wire.
+// magic distinguishes full profiles, events-only profiles, gzip'd
+// session batches and telemetry batches on the wire.
 const (
 	magicFull       = "SNIPPROF1"
 	magicEventsOnly = "SNIPEVTS1"
 	magicBatch      = "SNIPBTCH1"
+	magicTelemetry  = "SNIPTEL1"
 )
 
 // Encode writes the full dataset (inputs and outputs) as a gob stream.
@@ -155,20 +156,21 @@ var (
 	ErrBatchTrailerless = fmt.Errorf("%w: missing integrity trailer", ErrBatchChecksum)
 )
 
-// EncodeBatch writes a session batch as magic + gzip(gob) + CRC32
-// trailer — the wire form of POST /v1/upload-batch.
-func EncodeBatch(w io.Writer, b *SessionBatch) error {
+// encodeFramed writes one trailer-guarded frame — magic + gzip(gob(v))
+// + CRC32 trailer — the machinery shared by the SNIPBTCH1 session-batch
+// and SNIPTEL1 telemetry codecs. label names the frame in errors.
+func encodeFramed(w io.Writer, magic, label string, v any) error {
 	bw := bufio.NewWriter(w)
-	if _, err := io.WriteString(bw, magicBatch); err != nil {
+	if _, err := io.WriteString(bw, magic); err != nil {
 		return err
 	}
 	crc := crc32.NewIEEE()
 	zw := gzip.NewWriter(io.MultiWriter(bw, crc))
-	if err := gob.NewEncoder(zw).Encode(b); err != nil {
-		return fmt.Errorf("trace: encode batch: %w", err)
+	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		return fmt.Errorf("trace: encode %s: %w", label, err)
 	}
 	if err := zw.Close(); err != nil {
-		return fmt.Errorf("trace: encode batch: %w", err)
+		return fmt.Errorf("trace: encode %s: %w", label, err)
 	}
 	if _, err := io.WriteString(bw, batchTrailerMagic); err != nil {
 		return err
@@ -179,6 +181,66 @@ func EncodeBatch(w io.Writer, b *SessionBatch) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// decodeFramed reads a frame written by encodeFramed into v, verifying
+// the mandatory CRC32 trailer and refusing to decompress more than
+// maxDecoded bytes. Trailerless payloads are rejected with
+// ErrBatchTrailerless; corrupt input returns an error wrapping
+// ErrBatchChecksum; oversized input one wrapping ErrBatchTooLarge. It
+// never panics, whatever the input (pinned by the fuzz targets).
+func decodeFramed(r io.Reader, magic, label string, maxDecoded int64, v any) error {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("trace: decode %s header: %w", label, err)
+	}
+	if string(got) != magic {
+		return fmt.Errorf("trace: bad %s magic %q", label, got)
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("trace: decode %s: %w", label, err)
+	}
+	n := len(payload)
+	if n < batchTrailerLen ||
+		string(payload[n-batchTrailerLen:n-crc32.Size]) != batchTrailerMagic {
+		return ErrBatchTrailerless
+	}
+	want := binary.BigEndian.Uint32(payload[n-crc32.Size:])
+	payload = payload[:n-batchTrailerLen]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return fmt.Errorf("%w: crc %08x, trailer says %08x", ErrBatchChecksum, got, want)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("trace: decode %s: %w", label, err)
+	}
+	defer zr.Close()
+	if maxDecoded <= 0 {
+		maxDecoded = DefaultMaxDecodedBatch
+	}
+	lr := &cappedReader{r: zr, remaining: maxDecoded}
+	if err := gob.NewDecoder(lr).Decode(v); err != nil {
+		if lr.exceeded {
+			return fmt.Errorf("%w (cap %d bytes)", ErrBatchTooLarge, maxDecoded)
+		}
+		return fmt.Errorf("trace: decode %s: %w", label, err)
+	}
+	// Anything left after the gob message inside the gzip stream is
+	// garbage — a stale or hand-spliced payload whose trailer happened to
+	// check out.
+	var tail [1]byte
+	if n, err := zr.Read(tail[:]); n != 0 || (err != nil && err != io.EOF) {
+		return fmt.Errorf("%w: trailing garbage after %s payload", ErrBatchChecksum, label)
+	}
+	return nil
+}
+
+// EncodeBatch writes a session batch as magic + gzip(gob) + CRC32
+// trailer — the wire form of POST /v1/upload-batch.
+func EncodeBatch(w io.Writer, b *SessionBatch) error {
+	return encodeFramed(w, magicBatch, "batch", b)
 }
 
 // DecodeBatch reads a session batch written by EncodeBatch, capping the
@@ -192,53 +254,12 @@ func DecodeBatch(r io.Reader) (*SessionBatch, error) {
 // Trailerless payloads (the previous wire release) are rejected with
 // ErrBatchTrailerless — the one-release compatibility window has
 // closed. Corrupt input returns an error wrapping ErrBatchChecksum;
-// oversized input one wrapping ErrBatchTooLarge. It never panics, whatever the input (pinned by
-// FuzzDecodeBatch).
+// oversized input one wrapping ErrBatchTooLarge. It never panics,
+// whatever the input (pinned by FuzzDecodeBatch).
 func DecodeBatchLimit(r io.Reader, maxDecoded int64) (*SessionBatch, error) {
-	br := bufio.NewReader(r)
-	var magic [9]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: decode batch header: %w", err)
-	}
-	if string(magic[:]) != magicBatch {
-		return nil, fmt.Errorf("trace: bad batch magic %q", magic)
-	}
-	payload, err := io.ReadAll(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: decode batch: %w", err)
-	}
-	n := len(payload)
-	if n < batchTrailerLen ||
-		string(payload[n-batchTrailerLen:n-crc32.Size]) != batchTrailerMagic {
-		return nil, ErrBatchTrailerless
-	}
-	want := binary.BigEndian.Uint32(payload[n-crc32.Size:])
-	payload = payload[:n-batchTrailerLen]
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("%w: crc %08x, trailer says %08x", ErrBatchChecksum, got, want)
-	}
-	zr, err := gzip.NewReader(bytes.NewReader(payload))
-	if err != nil {
-		return nil, fmt.Errorf("trace: decode batch: %w", err)
-	}
-	defer zr.Close()
-	if maxDecoded <= 0 {
-		maxDecoded = DefaultMaxDecodedBatch
-	}
-	lr := &cappedReader{r: zr, remaining: maxDecoded}
 	var b SessionBatch
-	if err := gob.NewDecoder(lr).Decode(&b); err != nil {
-		if lr.exceeded {
-			return nil, fmt.Errorf("%w (cap %d bytes)", ErrBatchTooLarge, maxDecoded)
-		}
-		return nil, fmt.Errorf("trace: decode batch: %w", err)
-	}
-	// Anything left after the gob message inside the gzip stream is
-	// garbage — a stale or hand-spliced payload whose trailer happened to
-	// check out.
-	var tail [1]byte
-	if n, err := zr.Read(tail[:]); n != 0 || (err != nil && err != io.EOF) {
-		return nil, fmt.Errorf("%w: trailing garbage after batch payload", ErrBatchChecksum)
+	if err := decodeFramed(r, magicBatch, "batch", maxDecoded, &b); err != nil {
+		return nil, err
 	}
 	return &b, nil
 }
