@@ -33,11 +33,21 @@ go test -race ./internal/fleet ./internal/memo ./internal/chaos
 echo "== go test -race (tracing + telemetry paths: span recording and fleet rollups under concurrent drains)"
 go test -race -run 'Span|Trace|Healthz|Telemetry|Fleetz|Window' ./internal/obs ./internal/cloud ./internal/fleet
 
-echo "== fleet bench smoke (short run, then schema validation incl. health/SLO fields)"
-go run ./cmd/fleetbench -devices 1,2 -sessions 1 -secs 5 -profile-sessions 2 \
+echo "== go test -race (shard router + delta OTA: queue-routed ingest, update negotiation, multi-round swaps)"
+go test -race -run 'Shard|Delta|Update|OTA' ./internal/cloud ./internal/memo ./internal/trace ./internal/fleet
+
+echo "== fleet bench smoke (sharded cloud, multi-round delta OTA, then schema validation incl. health/SLO and delta accounting)"
+go run ./cmd/fleetbench -devices 2,4 -sessions 2 -secs 5 -profile-sessions 2 \
+	-shards 2 -refreshes 2 -delta-cap 4 \
 	-out /tmp/snip_bench_fleet_smoke.json
 go run ./cmd/fleetbench -validate /tmp/snip_bench_fleet_smoke.json
 rm -f /tmp/snip_bench_fleet_smoke.json
+
+echo "== shard sweep smoke (figures must be byte-identical at every shard count)"
+go run ./cmd/fleetbench -shard-sweep 1,2,4 -shard-games 3 -shard-sessions 2 -secs 5 \
+	-out /tmp/snip_bench_shards_smoke.json
+go run ./cmd/fleetbench -validate /tmp/snip_bench_shards_smoke.json
+rm -f /tmp/snip_bench_shards_smoke.json
 
 echo "== fuzz smoke (ingest decoders must reject arbitrary bytes, never panic)"
 go test -run '^$' -fuzz '^FuzzDecodeBatch$' -fuzztime 5s ./internal/trace
@@ -45,6 +55,8 @@ go test -run '^$' -fuzz '^FuzzDecodeEventsOnly$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzDecodeTelemetry$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzDecodeUpdate$' -fuzztime 5s ./internal/cloud
 go test -run '^$' -fuzz '^FuzzLoadFlatTable$' -fuzztime 5s ./internal/memo
+go test -run '^$' -fuzz '^FuzzDecodeDelta$' -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzApplyDelta$' -fuzztime 5s ./internal/memo
 
 echo "== chaos gate (all faults + mispredict guard under the race detector, zero panics)"
 go run -race ./cmd/fleetbench -chaos all -chaos-seed 7 -shadow-rate 0.25 \
@@ -53,8 +65,10 @@ go run -race ./cmd/fleetbench -chaos all -chaos-seed 7 -shadow-rate 0.25 \
 go run ./cmd/fleetbench -validate /tmp/snip_bench_chaos_gate.json
 rm -f /tmp/snip_bench_chaos_gate.json
 
-echo "== allocation gate (memo lookup + metrics + span + telemetry-window hot paths must stay 0 allocs/op)"
-alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord|WindowAdd|WindowObserveNil' \
+echo "== allocation gate (memo lookup + metrics + span + telemetry-window + post-delta-swap lookup hot paths must stay 0 allocs/op)"
+# DeltaAppliedLookupHit serves from a table rebuilt via ApplyDelta: the
+# patch step may allocate, the table it publishes must look up alloc-free.
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|DeltaAppliedLookupHit|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord|WindowAdd|WindowObserveNil' \
 	-benchmem -benchtime 1000x ./internal/memo ./internal/obs)
 echo "$alloc_out"
 bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')

@@ -18,10 +18,32 @@ type CloudService struct {
 	svc *cloud.Service
 }
 
-// NewCloudService builds a profiler service with the given PFI options.
+// NewCloudService builds a single-shard profiler service with the given
+// PFI options.
 func NewCloudService(o PFIOptions) *CloudService {
 	return &CloudService{svc: cloud.NewService(o.config())}
 }
+
+// NewCloudServiceSharded builds a profiler service whose games are
+// partitioned across N in-process shard replicas behind a deterministic
+// rendezvous router: each shard owns its games' profiles and drains its
+// own bounded ingest queue. Figures are byte-identical at every shard
+// count; sharding only moves work. Call Close when done.
+func NewCloudServiceSharded(o PFIOptions, shards int) *CloudService {
+	return &CloudService{svc: cloud.NewShardedService(o.config(), shards)}
+}
+
+// Close stops the shard workers and drains in-flight ingest work. Call
+// after the HTTP server has stopped accepting requests.
+func (s *CloudService) Close() { s.svc.Close() }
+
+// Shards returns the shard count behind the router.
+func (s *CloudService) Shards() int { return s.svc.Shards() }
+
+// SetDeltaCap bounds every game's retained delta chain — the longest
+// chain GET /v1/update ships before falling back to the full image.
+// Values < 1 restore the default.
+func (s *CloudService) SetDeltaCap(n int) { s.svc.SetDeltaCap(n) }
 
 // Handler returns the HTTP handler to mount. Besides the profiler
 // endpoints it serves GET /v1/metrics: a Prometheus-text exposition of

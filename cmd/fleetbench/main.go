@@ -49,6 +49,13 @@ type benchFile struct {
 	// Backend names the table backend the sweep served from: "flat"
 	// (zero-copy image, the default) or "map" (legacy pointer-based).
 	Backend string `json:"backend,omitempty"`
+	// Shards is the cloud-side shard count each run's service was built
+	// with; DeltaCap the longest delta chain /v1/update ships before
+	// falling back to a full image (0 = service default); Refreshes how
+	// many OTA rounds each run performed.
+	Shards    int `json:"shards"`
+	DeltaCap  int `json:"delta_chain_cap,omitempty"`
+	Refreshes int `json:"refreshes,omitempty"`
 	// Chaos names the fault-injection profile the sweep ran under (""
 	// or "off" = none); ChaosSeed its seed; ShadowRate the mispredict
 	// guard's sampling rate (0 = guard off). Validation relaxes the
@@ -102,6 +109,12 @@ func main() {
 	profileSessions := flag.Int("profile-sessions", 4, "training sessions for the initial table")
 	ota := flag.Bool("ota", true, "perform a live OTA rebuild+swap mid-run")
 	refreshAfter := flag.Int("refresh-after", 0, "trigger the OTA refresh after this many uploaded sessions (0 = half the fleet's sessions)")
+	refreshes := flag.Int("refreshes", 1, "OTA refresh rounds per run; rounds past the first ride the delta update path")
+	shards := flag.Int("shards", 1, "cloud-side profiler shard count behind the rendezvous router")
+	deltaCap := flag.Int("delta-cap", 0, "longest delta chain /v1/update ships before falling back to a full image (0 = service default)")
+	shardSweep := flag.String("shard-sweep", "", `run the ingest+rebuild throughput sweep across shard counts instead of the fleet: comma-separated counts (e.g. "1,2,4,8")`)
+	shardGames := flag.Int("shard-games", 6, "games ingested concurrently per shard-sweep point")
+	shardSessions := flag.Int("shard-sessions", 4, "recorded sessions uploaded per game per shard-sweep point")
 	chaosProf := flag.String("chaos", "", "fault-injection profile: off|sensors|devices|wire|table|all")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
 	shadowRate := flag.Float64("shadow-rate", 0, "mispredict-guard shadow-verification sample rate (0 = guard off)")
@@ -155,6 +168,10 @@ func main() {
 		fatalIf(runSweep(*sweep, *sweepOps, *sweepGate, *out))
 		return
 	}
+	if *shardSweep != "" {
+		fatalIf(runShardSweep(*shardSweep, *shardGames, *shardSessions, *secs, *deltaCap, *out))
+		return
+	}
 
 	counts, err := parseCounts(*devices)
 	fatalIf(err)
@@ -182,6 +199,7 @@ func main() {
 		Bench: "fleet", Game: *game,
 		SessionsPerDevice: *sessions, SessionSecs: *secs, BatchSize: *batch,
 		GoMaxProcs: runtime.GOMAXPROCS(0), Backend: *backend,
+		Shards: *shards, DeltaCap: *deltaCap, Refreshes: *refreshes,
 		Chaos: *chaosProf, ChaosSeed: *chaosSeed, ShadowRate: *shadowRate,
 		Telemetry: *telemetry,
 	}
@@ -191,7 +209,8 @@ func main() {
 	met := snip.NewMetrics()
 	for _, n := range counts {
 		rep, fz, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
-			*refreshAfter, *backend, *chaosProf, *chaosSeed, *shadowRate, *telemetry, met)
+			*refreshAfter, *refreshes, *shards, *deltaCap, *backend,
+			*chaosProf, *chaosSeed, *shadowRate, *telemetry, met)
 		fatalIf(err)
 		file.Runs = append(file.Runs, rep)
 		health := "healthy"
@@ -214,6 +233,12 @@ func main() {
 					rep.Guard.Trips, rep.Guard.Rollbacks, rep.Guard.BreakerOpen)
 			}
 			fmt.Fprintln(os.Stderr, line)
+		}
+		if rep.OTAUpdates > 0 {
+			fmt.Fprintf(os.Stderr,
+				"          ota: %d updates, %dB wire (delta %dB / full %dB)  delta_applies=%d links=%d max_chain=%d full_fallbacks=%d\n",
+				rep.OTAUpdates, rep.OTABytes, rep.OTADeltaBytes, rep.OTAFullBytes,
+				rep.OTADeltaApplies, rep.OTADeltaLinks, rep.OTAMaxChain, rep.OTAFullFallbacks)
 		}
 		if rep.Telemetry != nil {
 			fmt.Fprintf(os.Stderr, "          telemetry: %d records / %d batches (%dB wire, dropped %d)\n",
@@ -258,11 +283,15 @@ func main() {
 // so the drift and ingest-pressure verdicts the run produced are visible
 // in the sweep output.
 func runOnce(game string, table *snip.Table, devices, sessions int,
-	dur time.Duration, batch int, ota bool, refreshAfter int, backend string,
-	chaosProf string, chaosSeed uint64, shadowRate float64, telemetry bool,
+	dur time.Duration, batch int, ota bool, refreshAfter, refreshes, shards, deltaCap int,
+	backend string, chaosProf string, chaosSeed uint64, shadowRate float64, telemetry bool,
 	met *snip.Metrics) (*snip.FleetReport, *fleetzReply, error) {
-	svc := snip.NewCloudService(snip.DefaultPFIOptions())
+	svc := snip.NewCloudServiceSharded(snip.DefaultPFIOptions(), shards)
+	defer svc.Close()
 	svc.SetLegacyTables(backend == "map")
+	if deltaCap > 0 {
+		svc.SetDeltaCap(deltaCap)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
@@ -285,10 +314,18 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 		// One live rebuild+swap once half the fleet's sessions are in —
 		// or earlier/later when -refresh-after overrides the midpoint
 		// (an early swap gives a bad OTA generation a longer live window,
-		// which is what makes the drift signal visible end to end).
+		// which is what makes the drift signal visible end to end). With
+		// -refreshes > 1 the refresh threshold shrinks so every round fits
+		// inside the run; rounds past the first ride the delta path.
 		opts.RefreshAfterSessions = (devices*sessions + 1) / 2
 		if refreshAfter > 0 {
 			opts.RefreshAfterSessions = refreshAfter
+		}
+		opts.Refreshes = refreshes
+		if refreshes > 1 {
+			if per := devices * sessions / (refreshes + 1); per > 0 && refreshAfter == 0 {
+				opts.RefreshAfterSessions = per
+			}
 		}
 	}
 	if chaosProf != "" && chaosProf != "off" {
@@ -358,6 +395,9 @@ func validateFile(path string) error {
 	if probe.Bench == "lookup" {
 		return validateSweep(b)
 	}
+	if probe.Bench == "shards" {
+		return validateShardSweep(b)
+	}
 	var f benchFile
 	if err := json.Unmarshal(b, &f); err != nil {
 		return err
@@ -414,12 +454,52 @@ func validateFile(path string) error {
 				return fmt.Errorf("run %d: guard tripped with zero mispredicts", i)
 			}
 		}
+		if err := validateOTA(i, r, &f, chaotic); err != nil {
+			return err
+		}
 		if err := validateTelemetry(i, r, f.Telemetry, chaotic); err != nil {
 			return err
 		}
 		if err := validateHealth(i, r, chaotic); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateOTA checks the delta-OTA accounting every run must balance:
+// delta bytes plus full-image bytes (including full-fallback transfers)
+// account for every OTA wire byte, and no applied chain may exceed the
+// bench's delta cap. Chaos runs keep the arithmetic checks — corruption
+// changes which path a round takes, never the accounting identity.
+func validateOTA(i int, r *snip.FleetReport, f *benchFile, chaotic bool) error {
+	switch {
+	case r.OTABytes != r.OTADeltaBytes+r.OTAFullBytes:
+		return fmt.Errorf("run %d: ota bytes %d != delta %d + full %d",
+			i, r.OTABytes, r.OTADeltaBytes, r.OTAFullBytes)
+	case r.OTAUpdates < 0 || r.OTADeltaApplies < 0 || r.OTAFullFallbacks < 0:
+		return fmt.Errorf("run %d: negative ota counters", i)
+	case r.OTADeltaApplies > 0 && r.OTADeltaLinks < r.OTADeltaApplies:
+		return fmt.Errorf("run %d: %d delta applies carried only %d chain links",
+			i, r.OTADeltaApplies, r.OTADeltaLinks)
+	case r.OTADeltaApplies > 0 && r.OTADeltaBytes <= 0:
+		return fmt.Errorf("run %d: delta applies without delta bytes", i)
+	case r.OTAUpdates > 0 && r.OTABytes <= 0:
+		return fmt.Errorf("run %d: %d ota updates moved no bytes", i, r.OTAUpdates)
+	}
+	if f.DeltaCap > 0 && r.OTAMaxChain > f.DeltaCap {
+		return fmt.Errorf("run %d: applied chain length %d exceeds delta cap %d",
+			i, r.OTAMaxChain, f.DeltaCap)
+	}
+	// Clean runs against a healthy in-process cloud never need the
+	// full-image fallback: the device's base always matches the chain.
+	if !chaotic && r.OTAFullFallbacks != 0 {
+		return fmt.Errorf("run %d: %d full-image fallbacks without chaos", i, r.OTAFullFallbacks)
+	}
+	// The first round always ships the full image (the boot table has no
+	// cloud generation); every later clean round must ride the delta path.
+	if !chaotic && r.OTAUpdates > 1 && r.OTADeltaApplies == 0 {
+		return fmt.Errorf("run %d: %d update rounds but no round rode the delta path", i, r.OTAUpdates)
 	}
 	return nil
 }

@@ -3,16 +3,22 @@
 // emulator (the deterministic game engine), runs PFI, and serves OTA
 // lookup tables.
 //
+// With -shards N the daemon partitions games across N in-process shard
+// replicas behind a deterministic rendezvous router; figures are
+// byte-identical at every shard count.
+//
 // Usage:
 //
-//	profilerd -addr 127.0.0.1:8370
+//	profilerd -addr 127.0.0.1:8370 -shards 4
 //
 // Endpoints:
 //
 //	POST /v1/upload?game=G&seed=S    (body: events-only log)
 //	POST /v1/rebuild?game=G
 //	GET  /v1/table?game=G            (zero-copy flat image; -legacy-tables serves gob)
+//	GET  /v1/update?game=G&gen=N     (CRC-guarded delta chain from gen N, or full image)
 //	GET  /v1/status?game=G
+//	GET  /v1/shardz                  (per-shard ingest/queue/OTA rollup)
 //	GET  /v1/metrics                 (Prometheus text exposition)
 package main
 
@@ -35,6 +41,8 @@ func main() {
 	metricsMode := flag.String("metrics", "", "dump collected metrics to stderr at exit: text (Prometheus) | json")
 	drain := flag.Duration("drain", 5*time.Second, "how long to let in-flight uploads finish on SIGINT/SIGTERM")
 	legacyTables := flag.Bool("legacy-tables", false, "serve map-backed tables as gob instead of the zero-copy flat image")
+	shards := flag.Int("shards", 1, "in-process profiler shard replicas behind the rendezvous router")
+	deltaCap := flag.Int("delta-cap", 0, "longest delta chain /v1/update ships before falling back to a full image (0 = default)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -43,9 +51,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := snip.NewCloudService(snip.DefaultPFIOptions())
+	if *shards < 1 {
+		logger.Error("bad -shards", "shards", *shards)
+		os.Exit(2)
+	}
+	svc := snip.NewCloudServiceSharded(snip.DefaultPFIOptions(), *shards)
+	defer svc.Close()
 	svc.SetLogger(logger)
 	svc.SetLegacyTables(*legacyTables)
+	if *deltaCap > 0 {
+		svc.SetDeltaCap(*deltaCap)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -53,7 +69,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("profilerd listening", "addr", *addr)
+	logger.Info("profilerd listening", "addr", *addr, "shards", svc.Shards())
 
 	select {
 	case err := <-errc:

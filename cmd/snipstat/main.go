@@ -1,9 +1,10 @@
 // Command snipstat is a live text dashboard for a running profilerd:
-// it polls /v1/healthz, /v1/metrics, /v1/fleetz and /v1/tracez and
-// renders the service's health verdicts, the key ingest counters, the
-// fleet-telemetry rollups (per-generation hit-rate sparklines and the
-// drift / ingest-pressure verdicts) and the most recent distributed
-// traces.
+// it polls /v1/healthz, /v1/metrics, /v1/shardz, /v1/fleetz and
+// /v1/tracez and renders the service's health verdicts, the key ingest
+// counters, the per-shard rollup (ingest, queue pressure, delta-vs-full
+// OTA serving), the fleet-telemetry rollups (per-generation hit-rate
+// sparklines and the drift / ingest-pressure verdicts) and the most
+// recent distributed traces.
 //
 // Every pane polls independently: a restarting or flapping cloud
 // degrades the affected panes in place ("unavailable: ...") while the
@@ -61,6 +62,31 @@ type tracez struct {
 	Total    int64  `json:"total_recorded"`
 	Retained int    `json:"retained"`
 	Spans    []span `json:"spans"`
+}
+
+// shardz mirrors GET /v1/shardz — the per-shard rollup of the profiler
+// tier behind the rendezvous router.
+type shardz struct {
+	Shards   int          `json:"shards"`
+	DeltaCap int          `json:"delta_chain_cap"`
+	PerShard []shardzsRow `json:"per_shard"`
+}
+
+type shardzsRow struct {
+	Shard          int      `json:"shard"`
+	Games          []string `json:"games"`
+	IngestBatches  int64    `json:"ingest_batches"`
+	IngestSessions int64    `json:"ingest_sessions"`
+	IngestRecords  int64    `json:"ingest_records"`
+	Rebuilds       int64    `json:"rebuilds"`
+	QueueDepth     int64    `json:"queue_depth"`
+	QueueCap       int      `json:"queue_cap"`
+	QueueShed      int64    `json:"queue_shed"`
+	OTADeltaServed int64    `json:"ota_delta_served"`
+	OTAFullServed  int64    `json:"ota_full_served"`
+	OTADeltaBytes  int64    `json:"ota_delta_bytes"`
+	OTAFullBytes   int64    `json:"ota_full_bytes"`
+	MaxDeltaChain  int      `json:"max_delta_chain"`
 }
 
 // fleetz mirrors the subset of GET /v1/fleetz the dashboard renders.
@@ -174,6 +200,9 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 		series = parsePrometheus(string(metBody))
 	}
 
+	var sz shardz
+	_, szErr := fetchJSON(client, base+"/v1/shardz", &sz, false)
+
 	var fz fleetz
 	_, fzErr := fetchJSON(client, base+"/v1/fleetz", &fz, false)
 
@@ -247,6 +276,23 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 		}
 	}
 
+	fmt.Fprintf(out, "\nShards (%d, delta cap %d)\n", sz.Shards, sz.DeltaCap)
+	if szErr != nil {
+		fmt.Fprintf(out, "  (unavailable: %v)\n", szErr)
+	}
+	for _, sh := range sz.PerShard {
+		fmt.Fprintf(out,
+			"  #%-3d %-32s %6d sess / %d batches  rebuilds=%d  q=%d/%d shed=%d\n",
+			sh.Shard, strings.Join(sh.Games, ","), sh.IngestSessions,
+			sh.IngestBatches, sh.Rebuilds, sh.QueueDepth, sh.QueueCap, sh.QueueShed)
+		if sh.OTADeltaServed+sh.OTAFullServed > 0 {
+			fmt.Fprintf(out,
+				"       ota: %d delta (%dB) / %d full (%dB)  max_chain=%d\n",
+				sh.OTADeltaServed, sh.OTADeltaBytes,
+				sh.OTAFullServed, sh.OTAFullBytes, sh.MaxDeltaChain)
+		}
+	}
+
 	fmt.Fprintln(out, "\nFleet telemetry")
 	switch {
 	case fzErr != nil:
@@ -289,7 +335,7 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 
 	failed := 0
 	var firstErr error
-	for _, err := range []error{hzErr, metErr, fzErr, tzErr} {
+	for _, err := range []error{hzErr, metErr, szErr, fzErr, tzErr} {
 		if err != nil {
 			failed++
 			if firstErr == nil {

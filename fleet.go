@@ -72,9 +72,14 @@ type FleetOptions struct {
 	// BatchSize is sessions per batched upload (default 1).
 	BatchSize int
 	// RefreshAfterSessions, when > 0, has one device trigger a cloud
-	// rebuild + table fetch + live swap once that many sessions have
-	// been uploaded fleet-wide.
+	// rebuild + generation-negotiated update fetch + live swap once that
+	// many sessions have been uploaded fleet-wide.
 	RefreshAfterSessions int
+	// Refreshes is how many OTA rounds the run performs: round k fires
+	// after k*RefreshAfterSessions uploaded sessions. <= 1 keeps the
+	// single-refresh behaviour. Rounds past the first ride the delta
+	// path — the fleet already holds the previous generation.
+	Refreshes int
 	// Metrics, when non-nil, receives the snip_fleet_* series, the cloud
 	// client's retry counter, and distributed-tracing spans (session and
 	// batch-upload granularity) in its span buffer — with exemplar trace
@@ -201,6 +206,18 @@ type FleetReport struct {
 
 	Swaps        int64 `json:"swaps"`
 	TableVersion int64 `json:"table_version"`
+	// OTA transfer accounting across the refresh rounds: updates
+	// negotiated, delta-chain applies (and total links), full-image
+	// fallbacks after a failed delta, and the bytes moved on each path.
+	// OTABytes == OTADeltaBytes + OTAFullBytes always.
+	OTAUpdates       int64 `json:"ota_updates"`
+	OTADeltaApplies  int64 `json:"ota_delta_applies"`
+	OTADeltaLinks    int64 `json:"ota_delta_links"`
+	OTAFullFallbacks int64 `json:"ota_full_fallbacks"`
+	OTADeltaBytes    int64 `json:"ota_delta_bytes"`
+	OTAFullBytes     int64 `json:"ota_full_bytes"`
+	OTABytes         int64 `json:"ota_bytes"`
+	OTAMaxChain      int   `json:"ota_max_chain"`
 	// TableGeneration is the generation served at the end — below
 	// TableVersion when the guard rolled a bad OTA push back.
 	TableGeneration int64 `json:"table_generation"`
@@ -252,6 +269,7 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		SeedBase:             o.SeedBase,
 		BatchSize:            o.BatchSize,
 		RefreshAfterSessions: o.RefreshAfterSessions,
+		Refreshes:            o.Refreshes,
 		Obs:                  o.Metrics.Registry(),
 		Spans:                o.Metrics.SpanBuffer(),
 	}
@@ -310,16 +328,24 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		RawUploadBytes:  r.RawBytes.Bytes(),
 		TransferSavings: r.TransferSavings(),
 
-		Swaps:           r.Swaps,
-		TableVersion:    r.TableVersion,
-		TableGeneration: r.TableGeneration,
-		Rollbacks:       r.Rollbacks,
-		Retries:         r.Retries,
-		FailedDevices:   r.FailedDevices,
-		Health:          healthReport(r.Health),
-		Guard:           guardReport(r.Guard),
-		Chaos:           chaosReport(inj),
-		Telemetry:       telemetryReport(r.Telemetry),
+		Swaps:            r.Swaps,
+		TableVersion:     r.TableVersion,
+		OTAUpdates:       r.OTAUpdates,
+		OTADeltaApplies:  r.OTADeltaApplies,
+		OTADeltaLinks:    r.OTADeltaLinks,
+		OTAFullFallbacks: r.OTAFullFallbacks,
+		OTADeltaBytes:    r.OTADeltaBytes.Bytes(),
+		OTAFullBytes:     r.OTAFullBytes.Bytes(),
+		OTABytes:         r.OTABytes.Bytes(),
+		OTAMaxChain:      r.OTAMaxChain,
+		TableGeneration:  r.TableGeneration,
+		Rollbacks:        r.Rollbacks,
+		Retries:          r.Retries,
+		FailedDevices:    r.FailedDevices,
+		Health:           healthReport(r.Health),
+		Guard:            guardReport(r.Guard),
+		Chaos:            chaosReport(inj),
+		Telemetry:        telemetryReport(r.Telemetry),
 	}, nil
 }
 

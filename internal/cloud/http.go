@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -44,17 +45,25 @@ import (
 // trace ID as the latency histogram's bucket exemplar, so one trace ID
 // follows an event chain from device dispatch to cloud ingest.
 type Service struct {
-	mu        sync.Mutex
-	cfg       pfi.Config
-	profilers map[string]*Profiler
-	guards    map[string]GuardStatus
-	reg       *obs.Registry
-	met       *serviceMetrics
-	tel       *telemetryAggregator
-	spans     *obs.SpanBuffer
-	started   time.Time
-	log       *slog.Logger
-	legacy    bool
+	mu      sync.Mutex
+	cfg     pfi.Config
+	shards  []*shard
+	guards  map[string]GuardStatus
+	reg     *obs.Registry
+	met     *serviceMetrics
+	tel     *telemetryAggregator
+	spans   *obs.SpanBuffer
+	started time.Time
+	log     *slog.Logger
+	legacy  bool
+
+	// deltaCap bounds each game's retained delta chain; shardWorkers is
+	// the replay fan-out each shard's ingest jobs get (the worker budget
+	// divided across shards).
+	deltaCap     int
+	shardWorkers int
+	wg           sync.WaitGroup
+	closeOnce    sync.Once
 }
 
 // Ingest body limits: requests are bounded before any decode work, so a
@@ -103,11 +112,11 @@ type serviceMetrics struct {
 
 // endpoints the middleware tracks; fixed so every series exists from
 // the first scrape rather than appearing after first use.
-var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "status", "metrics", "healthz", "tracez", "guard", "telemetry", "fleetz"}
+var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "update", "status", "metrics", "healthz", "tracez", "guard", "telemetry", "fleetz", "shardz"}
 
 // ingestEndpoints are the ones whose error rate feeds the /v1/healthz
 // verdict — the data-path endpoints, not the introspection ones.
-var ingestEndpoints = []string{"upload", "upload-batch", "rebuild", "table", "telemetry"}
+var ingestEndpoints = []string{"upload", "upload-batch", "rebuild", "table", "update", "telemetry"}
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	m := &serviceMetrics{
@@ -147,24 +156,89 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 	return m
 }
 
-// NewService builds an empty service; profilers are created per game on
-// first upload. Every service owns a metrics registry (see Metrics)
-// exposed at GET /v1/metrics.
+// NewService builds an empty single-shard service; profilers are
+// created per game on first upload. Every service owns a metrics
+// registry (see Metrics) exposed at GET /v1/metrics.
 func NewService(cfg pfi.Config) *Service {
+	return NewShardedService(cfg, 1)
+}
+
+// NewShardedService builds a service whose games are partitioned across
+// shards in-process profiler replicas behind the rendezvous router (see
+// ShardFor). Each shard owns its games' profilers and drains its own
+// bounded ingest queue on a dedicated worker; the replay worker budget
+// (GOMAXPROCS) is divided across shards. Shard count is fixed for the
+// service's lifetime. Call Close when done to stop the shard workers.
+func NewShardedService(cfg pfi.Config, shards int) *Service {
+	if shards < 1 {
+		shards = 1
+	}
 	reg := obs.NewRegistry()
 	cfg.Obs = reg // rebuild-time PFI searches surface in /v1/metrics
 	s := &Service{
-		cfg:       cfg,
-		profilers: make(map[string]*Profiler),
-		guards:    make(map[string]GuardStatus),
-		reg:       reg,
-		met:       newServiceMetrics(reg),
-		tel:       newTelemetryAggregator(),
-		spans:     obs.NewSpanBuffer(obs.DefaultTracerCapacity),
-		started:   time.Now(),
+		cfg:          cfg,
+		guards:       make(map[string]GuardStatus),
+		reg:          reg,
+		met:          newServiceMetrics(reg),
+		tel:          newTelemetryAggregator(),
+		spans:        obs.NewSpanBuffer(obs.DefaultTracerCapacity),
+		started:      time.Now(),
+		deltaCap:     DefaultMaxDeltaChain,
+		shardWorkers: max(1, runtime.GOMAXPROCS(0)/shards),
+	}
+	reg.Gauge("snip_cloud_shards", "shard replicas behind the router").Set(int64(shards))
+	for i := 0; i < shards; i++ {
+		sh := newShard(i, reg)
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go sh.run(&s.wg)
 	}
 	s.setBuildInfo()
 	return s
+}
+
+// Close stops the shard workers and waits for in-flight ingest jobs to
+// drain. Call only after the HTTP server has stopped accepting
+// requests; handlers that enqueue after Close would panic.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+		s.wg.Wait()
+	})
+}
+
+// Shards returns the shard count behind the router.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// SetDeltaCap bounds every game's retained delta chain — the longest
+// chain /v1/update ships before falling back to the full image. Values
+// < 1 restore DefaultMaxDeltaChain. Applies to existing and future
+// profilers.
+func (s *Service) SetDeltaCap(n int) {
+	if n < 1 {
+		n = DefaultMaxDeltaChain
+	}
+	s.mu.Lock()
+	s.deltaCap = n
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ps := make([]*Profiler, 0, len(sh.profilers))
+		for _, p := range sh.profilers {
+			ps = append(ps, p)
+		}
+		sh.mu.Unlock()
+		for _, p := range ps {
+			p.SetDeltaCap(n)
+		}
+	}
+}
+
+// shardFor returns the shard owning a game.
+func (s *Service) shardFor(game string) *shard {
+	return s.shards[ShardFor(game, len(s.shards))]
 }
 
 // setBuildInfo refreshes the snip_build_info gauge: a constant-1 series
@@ -201,24 +275,38 @@ func (s *Service) SetLogger(l *slog.Logger) { s.log = l }
 // serves their images raw — the zero-copy OTA path.
 func (s *Service) SetLegacyTables(v bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.legacy = v
-	for _, p := range s.profilers {
-		p.SetLegacyTables(v)
-	}
 	s.setBuildInfo()
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ps := make([]*Profiler, 0, len(sh.profilers))
+		for _, p := range sh.profilers {
+			ps = append(ps, p)
+		}
+		sh.mu.Unlock()
+		for _, p := range ps {
+			p.SetLegacyTables(v)
+		}
+	}
 }
 
 func (s *Service) profiler(game string) *Profiler {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.profilers[game]
-	if !ok {
-		p = NewProfiler(game, s.cfg)
-		p.SetLegacyTables(s.legacy)
-		s.profilers[game] = p
+	legacy, deltaCap := s.legacy, s.deltaCap
+	s.mu.Unlock()
+	return s.shardFor(game).profiler(game, s.cfg, legacy, deltaCap)
+}
+
+// gameCount sums the games owned across shards.
+func (s *Service) gameCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.profilers)
+		sh.mu.Unlock()
 	}
-	return p
+	return n
 }
 
 // statusWriter captures the response code for the middleware.
@@ -273,6 +361,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/upload-batch", s.instrument("upload-batch", s.handleUploadBatch))
 	mux.HandleFunc("POST /v1/rebuild", s.instrument("rebuild", s.handleRebuild))
 	mux.HandleFunc("GET /v1/table", s.instrument("table", s.handleTable))
+	mux.HandleFunc("GET /v1/update", s.instrument("update", s.handleUpdate))
+	mux.HandleFunc("GET /v1/shardz", s.instrument("shardz", s.handleShardz))
 	mux.HandleFunc("GET /v1/status", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
@@ -313,9 +403,7 @@ type healthzReply struct {
 // error ratio must stay under 10% (once enough requests exist to
 // judge), and rebuilds must not be failing more often than succeeding.
 func (s *Service) Healthz() healthzReply {
-	s.mu.Lock()
-	games := len(s.profilers)
-	s.mu.Unlock()
+	games := s.gameCount()
 	reply := healthzReply{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -470,14 +558,28 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := s.profiler(game)
-	before := p.ProfileLen()
-	if err := p.IngestLog(seed, log); err != nil {
+	sh := s.shardFor(game)
+	var before, after int
+	err, shed := sh.enqueue(func() error {
+		before = p.ProfileLen()
+		if err := p.IngestLog(seed, log); err != nil {
+			return err
+		}
+		after = p.ProfileLen()
+		return nil
+	})
+	if shed {
+		http.Error(w, "shard ingest queue full", http.StatusTooManyRequests)
+		return
+	}
+	if err != nil {
 		http.Error(w, "replay: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	after := p.ProfileLen()
 	s.met.uploads.Inc()
 	s.met.records.Add(int64(after - before))
+	sh.met.sessions.Inc()
+	sh.met.records.Add(int64(after - before))
 	fmt.Fprintf(w, "ok records=%d\n", after)
 }
 
@@ -537,16 +639,31 @@ func (s *Service) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 		logs[i] = SessionLog{Seed: se.Seed, Log: se.Log}
 	}
 	p := s.profiler(game)
-	before := p.ProfileLen()
-	if err := p.IngestLogs(0, logs); err != nil {
+	sh := s.shardFor(game)
+	var before, after int
+	err, shed := sh.enqueue(func() error {
+		before = p.ProfileLen()
+		if err := p.IngestLogs(s.shardWorkers, logs); err != nil {
+			return err
+		}
+		after = p.ProfileLen()
+		return nil
+	})
+	if shed {
+		http.Error(w, "shard ingest queue full", http.StatusTooManyRequests)
+		return
+	}
+	if err != nil {
 		http.Error(w, "replay: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	after := p.ProfileLen()
 	s.met.uploads.Add(int64(len(logs)))
 	s.met.batches.Inc()
 	s.met.batchBytes.Add(int64(len(body)))
 	s.met.records.Add(int64(after - before))
+	sh.met.batches.Inc()
+	sh.met.sessions.Add(int64(len(logs)))
+	sh.met.records.Add(int64(after - before))
 	fmt.Fprintf(w, "ok sessions=%d records=%d\n", len(logs), after)
 }
 
@@ -555,13 +672,25 @@ func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	up, err := s.profiler(game).Rebuild()
+	p := s.profiler(game)
+	sh := s.shardFor(game)
+	var up *TableUpdate
+	err, shed := sh.enqueue(func() error {
+		var err error
+		up, err = p.Rebuild()
+		return err
+	})
+	if shed {
+		http.Error(w, "shard ingest queue full", http.StatusTooManyRequests)
+		return
+	}
 	if err != nil {
 		s.met.rebuildFails.Inc()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.met.rebuilds.Inc()
+	sh.met.rebuilds.Inc()
 	s.reg.Gauge(`snip_cloud_table_version{game="`+game+`"}`,
 		"latest table version built per game").Set(int64(up.Version))
 	if s.log != nil {
@@ -581,6 +710,13 @@ func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no table built yet", http.StatusNotFound)
 		return
 	}
+	s.serveFullTable(w, up, s.shardFor(game))
+}
+
+// serveFullTable writes a full OTA payload — shared by /v1/table and the
+// /v1/update full-image fallback, so both paths serve identical bytes
+// and headers and both land in the owning shard's full-serve accounting.
+func (s *Service) serveFullTable(w http.ResponseWriter, up *TableUpdate, sh *shard) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Snip-Version", strconv.Itoa(up.Version))
 	// A flat table ships as its raw image: the bytes on the wire ARE the
@@ -600,6 +736,8 @@ func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Snip-Pfi", string(pm))
 		_, _ = w.Write(flat.Image())
 		s.met.tablesServed.Inc()
+		sh.met.otaFull.Inc()
+		sh.met.fullBytes.Add(int64(len(flat.Image())))
 		return
 	}
 	var buf bytes.Buffer
@@ -610,6 +748,8 @@ func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Snip-Format", "gob")
 	_, _ = w.Write(buf.Bytes())
 	s.met.tablesServed.Inc()
+	sh.met.otaFull.Inc()
+	sh.met.fullBytes.Add(int64(buf.Len()))
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {

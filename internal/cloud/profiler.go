@@ -99,6 +99,13 @@ type TableUpdate struct {
 	ProfileRecords int
 }
 
+// DefaultMaxDeltaChain is how many consecutive table deltas a profiler
+// retains per game — the longest chain /v1/update will ship before
+// falling back to the full image. Short on purpose: a device more than
+// a few generations behind re-downloads the table outright rather than
+// replaying history.
+const DefaultMaxDeltaChain = 4
+
 // Profiler is the cloud-side state for one game: the accumulated profile
 // and the latest table build. Safe for concurrent use.
 type Profiler struct {
@@ -109,22 +116,47 @@ type Profiler struct {
 	version int
 	latest  *TableUpdate
 	legacy  bool
+
+	// Delta OTA state (flat builds only): the previous generation's flat
+	// table and the verified chain of consecutive deltas ending at the
+	// latest version, oldest first, at most deltaCap long.
+	prevFlat *memo.FlatTable
+	deltas   []*trace.TableDelta
+	deltaCap int
 }
 
 // NewProfiler creates a profiler for one game. Rebuilds produce flat
 // tables unless SetLegacyTables switches the profiler to the map-backed
 // path.
 func NewProfiler(game string, cfg pfi.Config) *Profiler {
-	return &Profiler{game: game, cfg: cfg, profile: &trace.Dataset{Game: game}}
+	return &Profiler{game: game, cfg: cfg, profile: &trace.Dataset{Game: game}, deltaCap: DefaultMaxDeltaChain}
 }
 
 // SetLegacyTables selects the map-backed SnipTable for future rebuilds
 // (the A/B flag for the flat table core); false restores the default
-// flat builds.
+// flat builds. Legacy tables have no delta form, so enabling drops any
+// retained chain.
 func (p *Profiler) SetLegacyTables(v bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.legacy = v
+	if v {
+		p.prevFlat, p.deltas = nil, nil
+	}
+}
+
+// SetDeltaCap bounds the retained delta chain (values < 1 restore
+// DefaultMaxDeltaChain).
+func (p *Profiler) SetDeltaCap(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 1 {
+		n = DefaultMaxDeltaChain
+	}
+	p.deltaCap = n
+	if len(p.deltas) > n {
+		p.deltas = append([]*trace.TableDelta(nil), p.deltas[len(p.deltas)-n:]...)
+	}
 }
 
 // Game returns the game this profiler serves.
@@ -203,6 +235,35 @@ func (p *Profiler) Rebuild() (*TableUpdate, error) {
 			return nil, fmt.Errorf("cloud: flat table build for %s: %w", p.game, err)
 		}
 		table = flat
+		// Grow the delta chain: diff the previous image against this one
+		// and SELF-VERIFY by applying the delta back onto the previous
+		// table — only a delta proven to reproduce the new image
+		// byte-exactly may ever be served. A diff or verify failure (or a
+		// delta no smaller than the image it replaces, e.g. after a
+		// selection change rewrote every key) breaks the chain instead:
+		// devices behind that point get the full image.
+		if p.prevFlat != nil {
+			d, err := memo.DiffFlat(p.game, p.version, p.version+1, p.prevFlat, flat)
+			ok := err == nil
+			if ok {
+				_, verr := memo.ApplyDelta(p.prevFlat, d)
+				ok = verr == nil
+			}
+			if ok {
+				if sz, err := trace.DeltaTransferSize(&trace.DeltaChain{Game: p.game, Deltas: []trace.TableDelta{*d}}); err != nil || int(sz) >= len(flat.Image()) {
+					ok = false
+				}
+			}
+			if ok {
+				p.deltas = append(p.deltas, d)
+				if len(p.deltas) > p.deltaCap {
+					p.deltas = append([]*trace.TableDelta(nil), p.deltas[len(p.deltas)-p.deltaCap:]...)
+				}
+			} else {
+				p.deltas = nil
+			}
+		}
+		p.prevFlat = flat
 	}
 	p.version++
 	p.latest = &TableUpdate{
@@ -221,6 +282,40 @@ func (p *Profiler) Latest() *TableUpdate {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.latest
+}
+
+// DeltaChainFrom returns the consecutive deltas that carry a device
+// from generation gen to the latest version, oldest first, or nil when
+// the chain cannot serve it (device already current or ahead, never
+// fetched a table, too far behind for the retained chain, or the chain
+// was broken) — the caller then serves the full image.
+func (p *Profiler) DeltaChainFrom(gen int) *trace.DeltaChain {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if gen <= 0 || p.latest == nil || gen >= p.version {
+		return nil
+	}
+	needed := p.version - gen
+	if needed > len(p.deltas) {
+		return nil
+	}
+	links := p.deltas[len(p.deltas)-needed:]
+	if links[0].FromVersion != gen {
+		return nil
+	}
+	c := &trace.DeltaChain{Game: p.game, Deltas: make([]trace.TableDelta, len(links))}
+	for i, d := range links {
+		c.Deltas[i] = *d
+	}
+	return c
+}
+
+// DeltaChainLen reports how many consecutive deltas are currently
+// retained (the /v1/shardz rollup).
+func (p *Profiler) DeltaChainLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.deltas)
 }
 
 // Learner drives the continuous-learning loop of Fig. 12 (Option 2 in

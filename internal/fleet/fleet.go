@@ -73,9 +73,15 @@ type Config struct {
 	BatchSize int
 	// RefreshAfterSessions triggers the live OTA path: once that many
 	// sessions have been uploaded fleet-wide, exactly one device asks the
-	// cloud to rebuild, fetches the new table and swaps it into Table
+	// cloud to rebuild, negotiates an update (delta chain against the
+	// table it already holds, or the full image) and swaps it into Table
 	// while every other device keeps serving. 0 disables.
 	RefreshAfterSessions int
+	// Refreshes is how many OTA rounds the run performs: round k fires
+	// once k*RefreshAfterSessions sessions have been uploaded. <= 1 keeps
+	// the single-refresh behaviour. Later rounds ride the delta path —
+	// the device already holds the previous generation.
+	Refreshes int
 
 	// Obs, when non-nil, receives fleet counters and the lookup latency
 	// histogram (snip_fleet_*). Write-only, like everywhere else.
@@ -241,6 +247,20 @@ type Result struct {
 	UploadBytes units.Size `json:"upload_bytes"`
 	RawBytes    units.Size `json:"raw_bytes"`
 
+	// OTA transfer accounting across the run's refresh rounds: updates
+	// negotiated, how many arrived as delta chains (and their total link
+	// count), how many fell back to the full image after a failed delta,
+	// and the bytes moved on each path. OTABytes is the total the OTA
+	// exchanges put on the wire — always OTADeltaBytes + OTAFullBytes.
+	OTAUpdates       int64      `json:"ota_updates"`
+	OTADeltaApplies  int64      `json:"ota_delta_applies"`
+	OTADeltaLinks    int64      `json:"ota_delta_links"`
+	OTAFullFallbacks int64      `json:"ota_full_fallbacks"`
+	OTADeltaBytes    units.Size `json:"ota_delta_bytes"`
+	OTAFullBytes     units.Size `json:"ota_full_bytes"`
+	OTABytes         units.Size `json:"ota_bytes"`
+	OTAMaxChain      int        `json:"ota_max_chain"`
+
 	// Swaps and TableVersion expose the shared table's OTA history over
 	// the run (swaps performed during it, version at the end).
 	Swaps        int64 `json:"swaps"`
@@ -324,8 +344,33 @@ type coordinator struct {
 	met      fleetMetrics
 	salt     uint64       // trace-ID salt, fixed per run: HashName("fleet/"+Game)
 	uploaded atomic.Int64 // sessions confirmed ingested by the cloud
-	refresh  atomic.Bool  // OTA refresh claimed
+	rounds   atomic.Int64 // OTA refresh rounds claimed
 	guard    *guard       // nil when the mispredict guard is disabled
+
+	// refreshMu serializes the execution of claimed OTA rounds. Claims
+	// are lock-free (the CAS on rounds), but two in-flight rounds must
+	// not interleave their rebuild+fetch+swap: the later round's fetch
+	// would advance the generation under the earlier one, collapsing it
+	// into a NotModified no-op and losing a swap.
+	refreshMu sync.Mutex
+
+	// OTA negotiation state, guarded by otaMu: the cloud generation the
+	// fleet last fetched and the clean (pre-chaos) flat table of that
+	// generation — the base the next round's delta chain patches. A
+	// locally-built starting table has otaVersion 0, so the first round
+	// always fetches the full image.
+	otaMu      sync.Mutex
+	otaVersion int
+	otaBase    *memo.FlatTable
+	ota        otaTally
+}
+
+// otaTally accumulates the run's OTA transfer accounting (see the
+// Result's OTA* fields).
+type otaTally struct {
+	updates, deltaApplies, deltaLinks, fullFallbacks int64
+	deltaBytes, fullBytes                            units.Size
+	maxChain                                         int
 }
 
 // sessionCtx derives the deterministic root span context for a session
@@ -336,30 +381,76 @@ func (co *coordinator) sessionCtx(seed uint64) obs.SpanContext {
 	return obs.Root(obs.NewTraceID(seed, co.salt))
 }
 
-// maybeRefresh performs the live OTA swap once the fleet has uploaded
-// enough sessions. Called by whichever device crosses the threshold
-// first, right after its successful batch upload — so the profiler is
-// guaranteed to hold the sessions the rebuild will train on.
+// maybeRefresh performs a live OTA round once the fleet has uploaded
+// enough sessions: round k fires at k*RefreshAfterSessions. Called by
+// whichever device crosses a threshold first, right after its
+// successful batch upload — so the profiler is guaranteed to hold the
+// sessions the rebuild will train on. The fetch is generation-
+// negotiated: the first round pulls the full image (the locally-built
+// starting table has no cloud generation), later rounds ride the delta
+// chain against the previous fetch, falling back to the full image when
+// the chain cannot apply.
 func (co *coordinator) maybeRefresh() error {
-	if co.cfg.RefreshAfterSessions <= 0 ||
-		co.uploaded.Load() < int64(co.cfg.RefreshAfterSessions) ||
-		!co.refresh.CompareAndSwap(false, true) {
+	cfg := co.cfg
+	if cfg.RefreshAfterSessions <= 0 {
 		return nil
 	}
-	if err := co.cfg.Client.Rebuild(co.cfg.Game); err != nil {
+	rounds := int64(cfg.Refreshes)
+	if rounds < 1 {
+		rounds = 1
+	}
+	for {
+		claimed := co.rounds.Load()
+		if claimed >= rounds ||
+			co.uploaded.Load() < (claimed+1)*int64(cfg.RefreshAfterSessions) {
+			return nil
+		}
+		if co.rounds.CompareAndSwap(claimed, claimed+1) {
+			break
+		}
+	}
+	co.refreshMu.Lock()
+	defer co.refreshMu.Unlock()
+	if err := cfg.Client.Rebuild(cfg.Game); err != nil {
 		return fmt.Errorf("fleet: ota rebuild: %w", err)
 	}
-	up, err := co.cfg.Client.FetchTable(co.cfg.Game)
+	co.otaMu.Lock()
+	base, baseVer := co.otaBase, co.otaVersion
+	co.otaMu.Unlock()
+	ur, err := cfg.Client.FetchUpdate(cfg.Game, baseVer, base)
 	if err != nil {
 		return fmt.Errorf("fleet: ota fetch: %w", err)
 	}
+	if ur.NotModified {
+		return nil
+	}
+	up := ur.Update
+	co.otaMu.Lock()
+	co.ota.updates++
+	co.ota.deltaBytes += ur.DeltaBytes
+	co.ota.fullBytes += ur.FullBytes
+	if ur.Format == "delta" {
+		co.ota.deltaApplies++
+		co.ota.deltaLinks += int64(ur.DeltaLinks)
+		if ur.DeltaLinks > co.ota.maxChain {
+			co.ota.maxChain = ur.DeltaLinks
+		}
+	}
+	if ur.FullFallback {
+		co.ota.fullFallbacks++
+	}
+	co.otaVersion = up.Version
+	co.otaBase, _ = up.Table.(*memo.FlatTable)
+	co.otaMu.Unlock()
 	tab := up.Table
 	// Table chaos corrupts the fetched copy before it is published — the
-	// "bad OTA push" the guard loop exists to catch and roll back.
-	if poisoned, n := co.cfg.Chaos.MaybePoisonTable(tab); n > 0 {
+	// "bad OTA push" the guard loop exists to catch and roll back. The
+	// clean copy stays the delta base: its generation is what the cloud
+	// serves, whatever the guard later does to the published one.
+	if poisoned, n := cfg.Chaos.MaybePoisonTable(tab); n > 0 {
 		tab = poisoned
 	}
-	co.cfg.Table.Swap(tab)
+	cfg.Table.Swap(tab)
 	co.met.swaps.Inc()
 	co.guard.onSwap()
 	return nil
@@ -626,6 +717,15 @@ func Run(cfg Config) (*Result, error) {
 		FailedDevices:   failed,
 		PerDevice:       results,
 		Guard:           co.guard.snapshot(),
+
+		OTAUpdates:       co.ota.updates,
+		OTADeltaApplies:  co.ota.deltaApplies,
+		OTADeltaLinks:    co.ota.deltaLinks,
+		OTAFullFallbacks: co.ota.fullFallbacks,
+		OTADeltaBytes:    co.ota.deltaBytes,
+		OTAFullBytes:     co.ota.fullBytes,
+		OTABytes:         co.ota.deltaBytes + co.ota.fullBytes,
+		OTAMaxChain:      co.ota.maxChain,
 	}
 	if cfg.Chaos != nil {
 		c := cfg.Chaos.Counts()

@@ -161,6 +161,51 @@ func TestFleetDeterministicAggregates(t *testing.T) {
 	}
 }
 
+// TestFleetMultiRoundDeltaOTA drives several OTA rounds through the
+// generation-negotiated update path: the first round pulls the full
+// image (the boot table has no cloud generation), later rounds arrive
+// as delta chains patched onto the previous fetch — the wire-byte
+// reduction the delta OTA tier exists for.
+func TestFleetMultiRoundDeltaOTA(t *testing.T) {
+	_, _, client, table := bootCloud(t)
+	shared := memo.NewShared(table)
+	res, err := Run(Config{
+		Game: testGame, Devices: 4, SessionsPerDevice: 4,
+		SessionDuration: testDur, SeedBase: 7000,
+		Table: shared, Client: client, BatchSize: 1,
+		RefreshAfterSessions: 4, Refreshes: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OTAUpdates != 3 || res.Swaps != 3 {
+		t.Fatalf("updates=%d swaps=%d, want 3 rounds", res.OTAUpdates, res.Swaps)
+	}
+	// Boot built v1; three rounds rebuilt v2..v4.
+	if res.TableVersion != 4 {
+		t.Fatalf("table version %d, want 4", res.TableVersion)
+	}
+	if res.OTABytes != res.OTADeltaBytes+res.OTAFullBytes {
+		t.Fatalf("ota accounting: %v != %v + %v", res.OTABytes, res.OTADeltaBytes, res.OTAFullBytes)
+	}
+	if res.OTAFullFallbacks != 0 {
+		t.Fatalf("healthy bases fell back to full images %d times", res.OTAFullFallbacks)
+	}
+	if res.OTADeltaApplies < 1 {
+		t.Fatalf("no round rode the delta path: %+v", res)
+	}
+	if res.OTADeltaLinks < res.OTADeltaApplies || res.OTAMaxChain < 1 {
+		t.Fatalf("chain accounting: links=%d applies=%d max=%d",
+			res.OTADeltaLinks, res.OTADeltaApplies, res.OTAMaxChain)
+	}
+	// The delta rounds moved fewer bytes than the single full round —
+	// otherwise the tier is theater.
+	if res.OTADeltaBytes >= res.OTAFullBytes {
+		t.Fatalf("delta rounds (%v) not cheaper than the full round (%v)",
+			res.OTADeltaBytes, res.OTAFullBytes)
+	}
+}
+
 // TestFleetServeOnly covers the cloudless shape: no client, no uploads,
 // just lookup serving.
 func TestFleetServeOnly(t *testing.T) {

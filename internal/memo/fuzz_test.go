@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"testing"
+
+	"snip/internal/trace"
 )
 
 // FuzzLoadFlatTable throws arbitrary bytes at the flat-image loader: it
@@ -85,4 +87,103 @@ func FuzzLoadFlatTable(f *testing.F) {
 		}
 		_ = ft.Export()
 	})
+}
+
+// FuzzApplyDelta throws arbitrary delta-chain bytes at the device-side
+// apply path: whatever the chain claims, apply must either error or
+// produce an image that full LoadFlatTable validation accepts — a
+// crafted chain must never make "apply reported success" and "the
+// patched table is servable" come apart, because success is what
+// authorizes the memo.Shared swap.
+func FuzzApplyDelta(f *testing.F) {
+	base := fuzzDeltaTable(f, 0, 48)
+	next := fuzzDeltaTable(f, 0, 64)
+	d, err := DiffFlat("g", 1, 2, base, next)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := encodeChain(f, &trace.DeltaChain{Game: "g", Deltas: []trace.TableDelta{*d}})
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)-6] ^= 0x40
+	f.Add(flipped)
+	// Semantically hostile but well-framed seeds: CRC lies, positions far
+	// out of range, removals of entries the base does not hold, duplicate
+	// upserts of one key.
+	warp := *d
+	warp.ToCRC ^= 0xFFFF
+	f.Add(encodeChain(f, &trace.DeltaChain{Game: "g", Deltas: []trace.TableDelta{warp}}))
+	warp = *d
+	warp.Upserts = append([]trace.DeltaEntry(nil), d.Upserts...)
+	for i := range warp.Upserts {
+		warp.Upserts[i].Pos = 1 << 30
+	}
+	f.Add(encodeChain(f, &trace.DeltaChain{Game: "g", Deltas: []trace.TableDelta{warp}}))
+	warp = *d
+	warp.Removed = []trace.DeltaKey{{Type: "ghost", EventKey: 1, StateKey: 2}}
+	f.Add(encodeChain(f, &trace.DeltaChain{Game: "g", Deltas: []trace.TableDelta{warp}}))
+	warp = *d
+	warp.Upserts = append(append([]trace.DeltaEntry(nil), d.Upserts...), d.Upserts...)
+	f.Add(encodeChain(f, &trace.DeltaChain{Game: "g", Deltas: []trace.TableDelta{warp, warp}}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := trace.DecodeDeltaChain(bytes.NewReader(data), 1<<22)
+		if err != nil {
+			return
+		}
+		got, err := ApplyDeltaChain(base, c)
+		if err != nil {
+			return
+		}
+		// Success: the patched image must stand on its own through the
+		// same validation a full OTA image faces.
+		reloaded, err := LoadFlatTable(bytes.Clone(got.Image()))
+		if err != nil {
+			t.Fatalf("apply succeeded but LoadFlatTable rejects the result: %v", err)
+		}
+		if reloaded.Fingerprint() != got.Fingerprint() {
+			t.Fatal("reloaded fingerprint differs")
+		}
+	})
+}
+
+func fuzzDeltaTable(f *testing.F, lo, hi int) *FlatTable {
+	f.Helper()
+	ids := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		ids = append(ids, i)
+	}
+	st := NewSnipTable(SynthSelection())
+	for _, i := range ids {
+		x, y, mode, level, combo := synthRow(64, i)
+		st.Insert(&trace.Record{
+			EventSeq: int64(i), EventType: "tap", Instr: 100, StateChanged: true,
+			Inputs: []trace.Field{
+				{Name: "event.tap.x", Category: trace.InEvent, Size: 4, Value: x},
+				{Name: "event.tap.y", Category: trace.InEvent, Size: 4, Value: y},
+				{Name: "state.mode", Category: trace.InHistory, Size: 1, Value: mode},
+				{Name: "state.level", Category: trace.InHistory, Size: 2, Value: level},
+				{Name: "state.combo", Category: trace.InHistory, Size: 2, Value: combo},
+			},
+			Outputs: []trace.Field{
+				{Name: "state.out", Category: trace.OutHistory, Size: 4, Value: x + y + combo},
+			},
+		})
+	}
+	ft, err := Flatten(st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return ft
+}
+
+func encodeChain(f *testing.F, c *trace.DeltaChain) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := trace.EncodeDeltaChain(&buf, c); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
 }

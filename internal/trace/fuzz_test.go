@@ -41,6 +41,39 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+func FuzzDecodeDelta(f *testing.F) {
+	var buf bytes.Buffer
+	chain := &DeltaChain{Game: "Colorphun", Deltas: []TableDelta{{
+		Game: "Colorphun", FromVersion: 1, ToVersion: 2, FromCRC: 0xDEAD, ToCRC: 0xBEEF,
+		Selection: map[string][]SelectionField{"tap": {{Name: "event.tap.x", Category: InEvent, Size: 4}}},
+		Removed:   []DeltaKey{{Type: "tap", EventKey: 7, StateKey: 9}},
+		Upserts: []DeltaEntry{{
+			Key: DeltaKey{Type: "tap", EventKey: 7, StateKey: 11}, Pos: 2, Instr: 100,
+			Outputs: []Field{{Name: "state.out", Category: OutHistory, Size: 4, Value: 5}},
+		}},
+	}}}
+	if err := EncodeDeltaChain(&buf, chain); err != nil {
+		f.Fatal(err)
+	}
+	wire := buf.Bytes()
+	f.Add(wire)
+	f.Add(wire[:len(wire)/2])
+	f.Add(wire[:8])
+	flipped := bytes.Clone(wire)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte("SNIPDLT1"))
+	f.Add([]byte("SNIPBTCH1junk"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeDeltaChain(bytes.NewReader(data), 1<<20)
+		if err == nil && c == nil {
+			t.Fatal("nil chain with nil error")
+		}
+	})
+}
+
 func FuzzDecodeEventsOnly(f *testing.F) {
 	var buf bytes.Buffer
 	log := &EventLog{Game: "Colorphun", Events: []LoggedEvent{
