@@ -30,8 +30,8 @@ go test -race ./internal/parallel ./internal/experiments ./internal/pfi ./intern
 echo "== go test -race (fleet serving: shared table + device fleet + chaos)"
 go test -race ./internal/fleet ./internal/memo ./internal/chaos
 
-echo "== go test -race (tracing + telemetry paths: span recording and fleet rollups under concurrent drains)"
-go test -race -run 'Span|Trace|Healthz|Telemetry|Fleetz|Window' ./internal/obs ./internal/cloud ./internal/fleet
+echo "== go test -race (tracing + telemetry + energy paths: span recording and fleet rollups under concurrent drains)"
+go test -race -run 'Span|Trace|Healthz|Telemetry|Fleetz|Window|Energy|Ledger|Energyz' ./internal/obs ./internal/cloud ./internal/fleet ./internal/energy
 
 echo "== go test -race (shard router + delta OTA: queue-routed ingest, update negotiation, multi-round swaps)"
 go test -race -run 'Shard|Delta|Update|OTA' ./internal/cloud ./internal/memo ./internal/trace ./internal/fleet
@@ -65,11 +65,11 @@ go run -race ./cmd/fleetbench -chaos all -chaos-seed 7 -shadow-rate 0.25 \
 go run ./cmd/fleetbench -validate /tmp/snip_bench_chaos_gate.json
 rm -f /tmp/snip_bench_chaos_gate.json
 
-echo "== allocation gate (memo lookup + metrics + span + telemetry-window + post-delta-swap lookup hot paths must stay 0 allocs/op)"
+echo "== allocation gate (memo lookup + metrics + span + telemetry-window + energy-ledger + post-delta-swap lookup hot paths must stay 0 allocs/op)"
 # DeltaAppliedLookupHit serves from a table rebuilt via ApplyDelta: the
 # patch step may allocate, the table it publishes must look up alloc-free.
-alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|DeltaAppliedLookupHit|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord|WindowAdd|WindowObserveNil' \
-	-benchmem -benchtime 1000x ./internal/memo ./internal/obs)
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|DeltaAppliedLookupHit|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord|WindowAdd|WindowObserveNil|LedgerEventCharge|LedgerAttribute' \
+	-benchmem -benchtime 1000x ./internal/memo ./internal/obs ./internal/energy)
 echo "$alloc_out"
 bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')
 if [ -n "$bad" ]; then

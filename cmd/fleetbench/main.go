@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -68,8 +69,13 @@ type benchFile struct {
 	// telemetry to the cloud's /v1/telemetry during the sweep; when set,
 	// validation requires every run to carry a consistent telemetry
 	// section.
-	Telemetry bool                `json:"telemetry,omitempty"`
-	Runs      []*snip.FleetReport `json:"runs"`
+	Telemetry bool `json:"telemetry,omitempty"`
+	// Energy records whether the device-side energy ledger ran; when
+	// set, validation enforces the ledger's conservation identities on
+	// every run (group sums equal the total, per-event and battery-hours
+	// figures consistent).
+	Energy bool                `json:"energy,omitempty"`
+	Runs   []*snip.FleetReport `json:"runs"`
 }
 
 // fleetzReply mirrors the subset of GET /v1/fleetz the bench prints and
@@ -100,6 +106,30 @@ type fleetzGen struct {
 	EffectiveHitRate float64 `json:"effective_hit_rate"`
 }
 
+// energyzReply mirrors the subset of GET /v1/energyz the bench prints
+// and gates on: the per-game energy-regression verdict and the device
+// monotone-conservation counter.
+type energyzReply struct {
+	Games []energyzGame `json:"games"`
+}
+
+type energyzGame struct {
+	Game               string       `json:"game"`
+	LiveGeneration     int64        `json:"live_generation"`
+	PrevGeneration     int64        `json:"prev_generation"`
+	Regression         float64      `json:"regression"`
+	RegressionVerdict  string       `json:"regression_verdict"`
+	MonotoneViolations int64        `json:"monotone_violations"`
+	Generations        []energyzGen `json:"generations"`
+}
+
+type energyzGen struct {
+	Generation       int64   `json:"generation"`
+	EnergyPerEventUJ float64 `json:"energy_per_event_uj"`
+	NetPerEventUJ    float64 `json:"net_per_event_uj"`
+	BatteryHours     float64 `json:"battery_hours"`
+}
+
 func main() {
 	game := flag.String("game", "Colorphun", "game workload")
 	devices := flag.String("devices", "1,2,4,8", "comma-separated device counts to sweep")
@@ -119,6 +149,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos RNG seed (0 = fixed default)")
 	shadowRate := flag.Float64("shadow-rate", 0, "mispredict-guard shadow-verification sample rate (0 = guard off)")
 	telemetry := flag.Bool("telemetry", true, "fold per-generation device telemetry and ship it to the cloud's /v1/telemetry")
+	energy := flag.Bool("energy", true, "run the device-side energy attribution ledger (modeled µJ per table generation)")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS")
 	gmp := flag.Int("gomaxprocs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default)")
 	backend := flag.String("backend", "flat", `table backend to serve: "flat" (zero-copy image) or "map" (legacy)`)
@@ -201,16 +232,16 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0), Backend: *backend,
 		Shards: *shards, DeltaCap: *deltaCap, Refreshes: *refreshes,
 		Chaos: *chaosProf, ChaosSeed: *chaosSeed, ShadowRate: *shadowRate,
-		Telemetry: *telemetry,
+		Telemetry: *telemetry, Energy: *energy,
 	}
 	// One Metrics across the sweep: the snip_fleet_* series accumulate
 	// over every device count, and the span ring retains the tail of the
 	// last runs' traces.
 	met := snip.NewMetrics()
 	for _, n := range counts {
-		rep, fz, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
+		rep, fz, ez, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
 			*refreshAfter, *refreshes, *shards, *deltaCap, *backend,
-			*chaosProf, *chaosSeed, *shadowRate, *telemetry, met)
+			*chaosProf, *chaosSeed, *shadowRate, *telemetry, *energy, met)
 		fatalIf(err)
 		file.Runs = append(file.Runs, rep)
 		health := "healthy"
@@ -245,6 +276,13 @@ func main() {
 				rep.Telemetry.Records, rep.Telemetry.Batches,
 				rep.Telemetry.UploadBytes, rep.Telemetry.Dropped)
 		}
+		if e := rep.Energy; e != nil {
+			fmt.Fprintf(os.Stderr,
+				"          energy: %.1fmJ (%.2fµJ/event, saved %.1fmJ)  battery=%.1fh  groups: sensors=%.1f%% mem=%.1f%% cpu=%.1f%% ips=%.1f%%\n",
+				e.TotalUJ/1000, e.EnergyPerEventUJ, e.SavedUJ/1000, e.BatteryHours,
+				100*e.SensorsUJ/e.TotalUJ, 100*e.MemoryUJ/e.TotalUJ,
+				100*e.CPUUJ/e.TotalUJ, 100*e.IPsUJ/e.TotalUJ)
+		}
 		if fz != nil {
 			for _, g := range fz.Games {
 				fmt.Fprintf(os.Stderr,
@@ -256,6 +294,22 @@ func main() {
 						"            gen %-2d  %3d records / %d devices  hit=%5.1f%%  mispredict=%4.1f%%  eff=%5.1f%%\n",
 						gen.Generation, gen.Records, gen.Devices, 100*gen.WindowedHitRate,
 						100*gen.Mispredict, 100*gen.EffectiveHitRate)
+				}
+			}
+		}
+		if ez != nil {
+			for _, g := range ez.Games {
+				if g.MonotoneViolations != 0 {
+					fatalIf(fmt.Errorf("cloud counted %d energy monotone violations for %s (device ledger totals must only grow)",
+						g.MonotoneViolations, g.Game))
+				}
+				fmt.Fprintf(os.Stderr,
+					"          energyz: regression=%+.3f (%s)  monotone_violations=%d\n",
+					g.Regression, g.RegressionVerdict, g.MonotoneViolations)
+				for _, gen := range g.Generations {
+					fmt.Fprintf(os.Stderr,
+						"            gen %-2d  %6.2fµJ/event (net %6.2f)  battery=%.1fh\n",
+						gen.Generation, gen.EnergyPerEventUJ, gen.NetPerEventUJ, gen.BatteryHours)
 				}
 			}
 		}
@@ -284,8 +338,8 @@ func main() {
 // in the sweep output.
 func runOnce(game string, table *snip.Table, devices, sessions int,
 	dur time.Duration, batch int, ota bool, refreshAfter, refreshes, shards, deltaCap int,
-	backend string, chaosProf string, chaosSeed uint64, shadowRate float64, telemetry bool,
-	met *snip.Metrics) (*snip.FleetReport, *fleetzReply, error) {
+	backend string, chaosProf string, chaosSeed uint64, shadowRate float64, telemetry, energy bool,
+	met *snip.Metrics) (*snip.FleetReport, *fleetzReply, *energyzReply, error) {
 	svc := snip.NewCloudServiceSharded(snip.DefaultPFIOptions(), shards)
 	defer svc.Close()
 	svc.SetLegacyTables(backend == "map")
@@ -294,7 +348,7 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 	go srv.Serve(ln)
@@ -309,6 +363,7 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 		BatchSize: batch,
 		Metrics:   met,
 		Telemetry: telemetry,
+		Energy:    energy,
 	}
 	if ota {
 		// One live rebuild+swap once half the fleet's sessions are in —
@@ -336,13 +391,19 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 	}
 	rep, err := snip.RunFleet(opts)
 	if err != nil || !telemetry {
-		return rep, nil, err
+		return rep, nil, nil, err
 	}
 	fz, err := fetchFleetz(cloudURL)
 	if err != nil {
-		return nil, nil, fmt.Errorf("fleetz after run: %w", err)
+		return nil, nil, nil, fmt.Errorf("fleetz after run: %w", err)
 	}
-	return rep, fz, nil
+	var ez *energyzReply
+	if energy {
+		if ez, err = fetchEnergyz(cloudURL); err != nil {
+			return nil, nil, nil, fmt.Errorf("energyz after run: %w", err)
+		}
+	}
+	return rep, fz, ez, nil
 }
 
 // fetchFleetz reads the in-process cloud's fleet rollup. The service is
@@ -361,6 +422,24 @@ func fetchFleetz(base string) (*fleetzReply, error) {
 		return nil, err
 	}
 	return &fz, nil
+}
+
+// fetchEnergyz reads the in-process cloud's energy rollup — the bench's
+// post-run conservation gate (monotone violations must be zero).
+func fetchEnergyz(base string) (*energyzReply, error) {
+	resp, err := http.Get(base + "/v1/energyz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("energyz: HTTP %d", resp.StatusCode)
+	}
+	var ez energyzReply
+	if err := json.NewDecoder(resp.Body).Decode(&ez); err != nil {
+		return nil, err
+	}
+	return &ez, nil
 }
 
 func parseCounts(s string) ([]int, error) {
@@ -460,6 +539,9 @@ func validateFile(path string) error {
 		if err := validateTelemetry(i, r, f.Telemetry, chaotic); err != nil {
 			return err
 		}
+		if err := validateEnergy(i, r, f.Energy); err != nil {
+			return err
+		}
 		if err := validateHealth(i, r, chaotic); err != nil {
 			return err
 		}
@@ -533,6 +615,46 @@ func validateTelemetry(i int, r *snip.FleetReport, enabled, chaotic bool) error 
 	// only legitimate under fault injection.
 	if !chaotic && t.Dropped != 0 {
 		return fmt.Errorf("run %d: %d telemetry records dropped without chaos", i, t.Dropped)
+	}
+	return nil
+}
+
+// validateEnergy checks the energy ledger's conservation identities —
+// the same on chaos runs, since fault injection changes what was charged
+// but never the accounting arithmetic: the Fig. 2 group fields must sum
+// to the total, a run that served events must have charged energy, and
+// the derived per-event and battery-hours figures must be present and
+// consistent.
+func validateEnergy(i int, r *snip.FleetReport, enabled bool) error {
+	e := r.Energy
+	if !enabled {
+		if e != nil {
+			return fmt.Errorf("run %d: energy report on a disabled run", i)
+		}
+		return nil
+	}
+	if e == nil {
+		return fmt.Errorf("run %d: energy ledger enabled but no report", i)
+	}
+	sum := e.SensorsUJ + e.MemoryUJ + e.CPUUJ + e.IPsUJ
+	switch {
+	case r.Events > 0 && e.TotalUJ <= 0:
+		return fmt.Errorf("run %d: %d events served but no energy charged", i, r.Events)
+	case math.Abs(sum-e.TotalUJ) > 1e-6*math.Max(1, e.TotalUJ):
+		return fmt.Errorf("run %d: energy groups sum to %.3fµJ, total says %.3fµJ", i, sum, e.TotalUJ)
+	case e.LookupOverheadUJ < 0 || e.ShadowVerifyUJ < 0 || e.SavedUJ < 0 || e.WastedUJ < 0:
+		return fmt.Errorf("run %d: negative energy cause bucket", i)
+	case r.Hits > 0 && e.SavedUJ <= 0:
+		return fmt.Errorf("run %d: hits landed but no short-circuit energy credited", i)
+	case e.ElapsedUS <= 0:
+		return fmt.Errorf("run %d: energy report carries no elapsed time", i)
+	case e.TotalUJ > 0 && (e.EnergyPerEventUJ <= 0 || e.BatteryHours <= 0):
+		return fmt.Errorf("run %d: energy charged but per-event/battery figures missing", i)
+	}
+	if r.Events > 0 {
+		if want := e.TotalUJ / float64(r.Events); math.Abs(e.EnergyPerEventUJ-want) > 1e-9*math.Max(1, want) {
+			return fmt.Errorf("run %d: energy/event %.6f inconsistent with total/events %.6f", i, e.EnergyPerEventUJ, want)
+		}
 	}
 	return nil
 }

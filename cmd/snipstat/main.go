@@ -1,10 +1,12 @@
 // Command snipstat is a live text dashboard for a running profilerd:
-// it polls /v1/healthz, /v1/metrics, /v1/shardz, /v1/fleetz and
-// /v1/tracez and renders the service's health verdicts, the key ingest
-// counters, the per-shard rollup (ingest, queue pressure, delta-vs-full
-// OTA serving), the fleet-telemetry rollups (per-generation hit-rate
-// sparklines and the drift / ingest-pressure verdicts) and the most
-// recent distributed traces.
+// it polls /v1/healthz, /v1/metrics, /v1/shardz, /v1/fleetz,
+// /v1/energyz and /v1/tracez and renders the service's health
+// verdicts, the key ingest counters, the per-shard rollup (ingest,
+// queue pressure, delta-vs-full OTA serving), the fleet-telemetry
+// rollups (per-generation hit-rate sparklines and the drift /
+// ingest-pressure verdicts), the fleet energy ledger (Fig-2-style
+// group breakdown, net-energy-per-event regression verdicts) and the
+// most recent distributed traces.
 //
 // Every pane polls independently: a restarting or flapping cloud
 // degrades the affected panes in place ("unavailable: ...") while the
@@ -118,10 +120,40 @@ type fleetzGen struct {
 }
 
 // wbucket is one windowed time-series bucket; for the hit-rate series
-// Sum counts hits and Count counts lookups.
+// Sum counts hits and Count counts lookups, for the energy series Sum
+// carries net µJ and Count events.
 type wbucket struct {
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
+}
+
+// energyz mirrors the subset of GET /v1/energyz the dashboard renders.
+type energyz struct {
+	Games []energyzGame `json:"games"`
+}
+
+type energyzGame struct {
+	Game               string       `json:"game"`
+	LiveGeneration     int64        `json:"live_generation"`
+	PrevGeneration     int64        `json:"prev_generation"`
+	Regression         float64      `json:"regression"`
+	RegressionVerdict  string       `json:"regression_verdict"`
+	MonotoneViolations int64        `json:"monotone_violations"`
+	Generations        []energyzGen `json:"generations"`
+}
+
+type energyzGen struct {
+	Generation       int64     `json:"generation"`
+	EnergyUJ         float64   `json:"energy_uj"`
+	SensorsUJ        float64   `json:"sensors_uj"`
+	MemoryUJ         float64   `json:"memory_uj"`
+	CPUUJ            float64   `json:"cpu_uj"`
+	IPsUJ            float64   `json:"ips_uj"`
+	SavedUJ          float64   `json:"saved_uj"`
+	EnergyPerEventUJ float64   `json:"energy_per_event_uj"`
+	NetPerEventUJ    float64   `json:"net_per_event_uj"`
+	BatteryHours     float64   `json:"battery_hours"`
+	NetHistory       []wbucket `json:"net_history"`
 }
 
 func main() {
@@ -205,6 +237,9 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 
 	var fz fleetz
 	_, fzErr := fetchJSON(client, base+"/v1/fleetz", &fz, false)
+
+	var ez energyz
+	_, ezErr := fetchJSON(client, base+"/v1/energyz", &ez, false)
 
 	var tz tracez
 	_, tzErr := fetchJSON(client, base+"/v1/tracez?limit="+strconv.Itoa(traces), &tz, false)
@@ -317,6 +352,40 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 		}
 	}
 
+	fmt.Fprintln(out, "\nFleet energy")
+	switch {
+	case ezErr != nil:
+		fmt.Fprintf(out, "  (unavailable: %v)\n", ezErr)
+	case len(ez.Games) == 0:
+		fmt.Fprintln(out, "  (no energy-bearing telemetry yet — run the fleet with the ledger on)")
+	default:
+		for _, g := range ez.Games {
+			fmt.Fprintf(out, "  %-14s live_gen=%d prev=%d  regression=%+.1f%% (%s)",
+				g.Game, g.LiveGeneration, g.PrevGeneration, 100*g.Regression, g.RegressionVerdict)
+			if g.MonotoneViolations > 0 {
+				fmt.Fprintf(out, "  MONOTONE VIOLATIONS=%d", g.MonotoneViolations)
+			}
+			fmt.Fprintln(out)
+			for _, gen := range g.Generations {
+				live := " "
+				if gen.Generation == g.LiveGeneration {
+					live = "*"
+				}
+				pct := func(v float64) float64 {
+					if gen.EnergyUJ <= 0 {
+						return 0
+					}
+					return 100 * v / gen.EnergyUJ
+				}
+				fmt.Fprintf(out,
+					"   %sgen %-3d net=%6.2fµJ/ev raw=%6.2f saved=%.1fmJ batt=%.1fh  %-16s sens=%2.0f%% mem=%2.0f%% cpu=%2.0f%% ips=%2.0f%%\n",
+					live, gen.Generation, gen.NetPerEventUJ, gen.EnergyPerEventUJ,
+					gen.SavedUJ/1000, gen.BatteryHours, rateSparkline(gen.NetHistory, 16),
+					pct(gen.SensorsUJ), pct(gen.MemoryUJ), pct(gen.CPUUJ), pct(gen.IPsUJ))
+			}
+		}
+	}
+
 	fmt.Fprintf(out, "\nRecent traces (%d recorded, %d retained)\n", tz.Total, tz.Retained)
 	if tzErr != nil {
 		fmt.Fprintf(out, "  (unavailable: %v)\n", tzErr)
@@ -335,7 +404,7 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 
 	failed := 0
 	var firstErr error
-	for _, err := range []error{hzErr, metErr, szErr, fzErr, tzErr} {
+	for _, err := range []error{hzErr, metErr, szErr, fzErr, ezErr, tzErr} {
 		if err != nil {
 			failed++
 			if firstErr == nil {
@@ -369,6 +438,45 @@ func sparkline(hist []wbucket, max int) string {
 		}
 		if i < 0 {
 			i = 0
+		}
+		b.WriteRune(sparkLevels[i])
+	}
+	return b.String()
+}
+
+// rateSparkline renders a windowed rate series (Sum/Count in arbitrary
+// units — net µJ per event for the energy pane) normalised against the
+// largest rate in view, so the strip shows the shape of the series
+// rather than an absolute scale. Negative rates (net credit exceeding
+// spend) clamp to the floor glyph.
+func rateSparkline(hist []wbucket, max int) string {
+	if len(hist) > max {
+		hist = hist[len(hist)-max:]
+	}
+	peak := 0.0
+	for _, bk := range hist {
+		if bk.Count > 0 {
+			if r := float64(bk.Sum) / float64(bk.Count); r > peak {
+				peak = r
+			}
+		}
+	}
+	var b strings.Builder
+	for _, bk := range hist {
+		if bk.Count <= 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		i := 0
+		if peak > 0 {
+			r := float64(bk.Sum) / float64(bk.Count)
+			i = int(r / peak * float64(len(sparkLevels)-1))
+			if i >= len(sparkLevels) {
+				i = len(sparkLevels) - 1
+			}
+			if i < 0 {
+				i = 0
+			}
 		}
 		b.WriteRune(sparkLevels[i])
 	}

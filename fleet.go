@@ -106,6 +106,14 @@ type FleetOptions struct {
 	// TelemetryFlushRecords is how many folded records a device buffers
 	// before shipping a batch (default 8).
 	TelemetryFlushRecords int
+	// Energy, when true, enables the device-side energy attribution
+	// ledger: every handled event charges modeled µJ split by the
+	// paper's Fig. 2 groups and tagged cause buckets, rolled up into
+	// FleetReport.Energy, the health verdicts, and (with Telemetry) the
+	// records behind the cloud's GET /v1/energyz. The ledger consumes no
+	// randomness and no wall-clock: enabling it leaves every
+	// deterministic run tally byte-identical.
+	Energy bool
 }
 
 // ChaosOptions selects a fault-injection profile for a fleet run.
@@ -160,14 +168,18 @@ type FleetSLOVerdict struct {
 	Detail    string  `json:"detail,omitempty"`
 }
 
-// FleetDeviceHealth is one device's health view.
+// FleetDeviceHealth is one device's health view. SavedInstr is a plain
+// instruction counter; EnergyUJ/SavedEnergyUJ carry the real modeled µJ
+// from the energy ledger (zero when FleetOptions.Energy is off).
 type FleetDeviceHealth struct {
-	Device      int     `json:"device"`
-	HitRate     float64 `json:"hit_rate"`
-	SavedInstr  int64   `json:"saved_instr"`
-	P99LookupNS int64   `json:"p99_lookup_ns"`
-	Retries     int     `json:"retries"`
-	Failed      bool    `json:"failed,omitempty"`
+	Device        int     `json:"device"`
+	HitRate       float64 `json:"hit_rate"`
+	SavedInstr    int64   `json:"saved_instr"`
+	EnergyUJ      float64 `json:"energy_uj,omitempty"`
+	SavedEnergyUJ float64 `json:"saved_energy_uj,omitempty"`
+	P99LookupNS   int64   `json:"p99_lookup_ns"`
+	Retries       int     `json:"retries"`
+	Failed        bool    `json:"failed,omitempty"`
 }
 
 // FleetHealth is the run judged against the fleet SLO envelope: hit-rate
@@ -176,6 +188,8 @@ type FleetHealth struct {
 	Healthy         bool                `json:"healthy"`
 	HitRate         float64             `json:"hit_rate"`
 	SavedInstr      int64               `json:"saved_instr"`
+	EnergyUJ        float64             `json:"energy_uj,omitempty"`
+	SavedEnergyUJ   float64             `json:"saved_energy_uj,omitempty"`
 	P99LookupNS     int64               `json:"p99_lookup_ns"`
 	Retries         int                 `json:"retries"`
 	RetriesPerBatch float64             `json:"retries_per_batch"`
@@ -238,6 +252,32 @@ type FleetReport struct {
 	// Telemetry reports the telemetry pipeline's shipping outcome (nil
 	// when disabled).
 	Telemetry *FleetTelemetryReport `json:"telemetry,omitempty"`
+	// Energy is the fleet-wide energy attribution rollup (nil when the
+	// ledger is disabled).
+	Energy *FleetEnergyReport `json:"energy,omitempty"`
+}
+
+// FleetEnergyReport is the fleet-wide modeled-energy rollup: totals split
+// by the paper's Fig. 2 groups (TotalUJ always equals their sum), the
+// tagged cause buckets, energy per event, and the battery-hours
+// extrapolation of the run's average per-device power (the paper's
+// 5–10-minute-measurement methodology). SavedUJ is a credit — energy the
+// verified short-circuits avoided — and is never part of TotalUJ.
+type FleetEnergyReport struct {
+	TotalUJ   float64 `json:"total_uj"`
+	SensorsUJ float64 `json:"sensors_uj"`
+	MemoryUJ  float64 `json:"memory_uj"`
+	CPUUJ     float64 `json:"cpu_uj"`
+	IPsUJ     float64 `json:"ips_uj"`
+
+	LookupOverheadUJ float64 `json:"lookup_overhead_uj"`
+	ShadowVerifyUJ   float64 `json:"shadow_verify_uj"`
+	SavedUJ          float64 `json:"saved_uj"`
+	WastedUJ         float64 `json:"wasted_uj"`
+
+	EnergyPerEventUJ float64 `json:"energy_per_event_uj"`
+	ElapsedUS        int64   `json:"elapsed_us"`
+	BatteryHours     float64 `json:"battery_hours"`
 }
 
 // FleetTelemetryReport summarizes the device→cloud telemetry pipeline:
@@ -296,6 +336,9 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	if o.Telemetry {
 		cfg.Telemetry = &fleet.TelemetryConfig{FlushRecords: o.TelemetryFlushRecords}
 	}
+	if o.Energy {
+		cfg.Energy = &fleet.EnergyConfig{}
+	}
 	if o.CloudURL != "" {
 		cfg.Client = cloud.NewClient(o.CloudURL)
 		cfg.Client.SetMetrics(o.Metrics.Registry())
@@ -346,7 +389,29 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		Guard:            guardReport(r.Guard),
 		Chaos:            chaosReport(inj),
 		Telemetry:        telemetryReport(r.Telemetry),
+		Energy:           energyReport(r.Energy),
 	}, nil
+}
+
+// energyReport mirrors the internal energy rollup into the public type.
+func energyReport(e *fleet.EnergyReport) *FleetEnergyReport {
+	if e == nil {
+		return nil
+	}
+	return &FleetEnergyReport{
+		TotalUJ:          e.TotalUJ,
+		SensorsUJ:        e.SensorsUJ,
+		MemoryUJ:         e.MemoryUJ,
+		CPUUJ:            e.CPUUJ,
+		IPsUJ:            e.IPsUJ,
+		LookupOverheadUJ: e.LookupOverheadUJ,
+		ShadowVerifyUJ:   e.ShadowVerifyUJ,
+		SavedUJ:          e.SavedUJ,
+		WastedUJ:         e.WastedUJ,
+		EnergyPerEventUJ: e.EnergyPerEventUJ,
+		ElapsedUS:        e.ElapsedUS,
+		BatteryHours:     e.BatteryHours,
+	}
 }
 
 // telemetryReport mirrors the internal telemetry summary into the
@@ -398,6 +463,8 @@ func healthReport(h *fleet.HealthSnapshot) *FleetHealth {
 		Healthy:         h.Healthy,
 		HitRate:         h.HitRate,
 		SavedInstr:      h.SavedInstr,
+		EnergyUJ:        h.EnergyUJ,
+		SavedEnergyUJ:   h.SavedEnergyUJ,
 		P99LookupNS:     h.P99LookupNS,
 		Retries:         h.Retries,
 		RetriesPerBatch: h.RetriesPerBatch,

@@ -37,6 +37,11 @@ import (
 //	GET  /v1/metrics                Prometheus text exposition
 //	GET  /v1/healthz                JSON health/SLO verdict
 //	GET  /v1/tracez                 recent ingest spans (JSON)
+//	POST /v1/guard                  fleet guard status report
+//	POST /v1/telemetry              SNIPTEL1 telemetry batch ingest
+//	GET  /v1/fleetz                 fleet telemetry rollups (JSON)
+//	GET  /v1/energyz                fleet energy rollups (JSON)
+//	GET  /v1/shardz                 shard ownership/queue view (JSON)
 //	GET  /debug/pprof/*             net/http/pprof profiles
 //
 // Requests carrying an X-Snip-Trace header (see obs.TraceHeader) are
@@ -112,7 +117,7 @@ type serviceMetrics struct {
 
 // endpoints the middleware tracks; fixed so every series exists from
 // the first scrape rather than appearing after first use.
-var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "update", "status", "metrics", "healthz", "tracez", "guard", "telemetry", "fleetz", "shardz"}
+var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "update", "status", "metrics", "healthz", "tracez", "guard", "telemetry", "fleetz", "shardz", "energyz"}
 
 // ingestEndpoints are the ones whose error rate feeds the /v1/healthz
 // verdict — the data-path endpoints, not the introspection ones.
@@ -370,6 +375,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/guard", s.instrument("guard", s.handleGuard))
 	mux.HandleFunc("POST /v1/telemetry", s.instrument("telemetry", s.handleTelemetry))
 	mux.HandleFunc("GET /v1/fleetz", s.instrument("fleetz", s.handleFleetz))
+	mux.HandleFunc("GET /v1/energyz", s.instrument("energyz", s.handleEnergyz))
 	// net/http/pprof, wired explicitly (the service never touches the
 	// DefaultServeMux): CPU/heap/goroutine/block profiles for debugging
 	// a live profiler under fleet load.
@@ -471,6 +477,10 @@ func (s *Service) Healthz() healthzReply {
 			reply.Status = "degraded"
 		}
 	}
+	// Fleet energy: a live generation spending measurably more net
+	// energy per event than its predecessor is a regression the rebuild
+	// policy must see, even when its raw hit rate looks fine.
+	s.energyHealthChecks(&reply)
 	return reply
 }
 

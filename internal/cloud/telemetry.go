@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 
 	"snip/internal/obs"
@@ -82,10 +84,24 @@ type genRollup struct {
 	savedInstr int64
 	maxP99NS   int64
 	devices    map[int]struct{}
+	// Energy ledger rollup, all zero when the fleet ran without the
+	// device-side ledger. energyUJ always equals the sum of groupUJ
+	// (devices fold conservatively); savedUJ is the short-circuit credit
+	// and never part of energyUJ.
+	energyUJ  float64
+	groupUJ   [4]float64 // Fig. 2 order: Sensors, Memory, CPU, IPs
+	lookupUJ  float64
+	shadowUJ  float64
+	savedUJ   float64
+	wastedUJ  float64
+	elapsedUS int64
 	// hitWindow folds (hits, lookups) pairs; shadowWindow folds
-	// (mispredicts, checks) — both keyed by the records' simulated time.
+	// (mispredicts, checks); energyWindow folds (net µJ, events) where
+	// net = spent − credited — the regression signal's unit. All keyed by
+	// the records' simulated time.
 	hitWindow    *obs.Window
 	shadowWindow *obs.Window
+	energyWindow *obs.Window
 }
 
 func newGenRollup(gen int64) *genRollup {
@@ -94,6 +110,7 @@ func newGenRollup(gen int64) *genRollup {
 		devices:      make(map[int]struct{}),
 		hitWindow:    obs.NewWindow(telemetryBucketWidthUS, telemetryBuckets),
 		shadowWindow: obs.NewWindow(telemetryBucketWidthUS, telemetryBuckets),
+		energyWindow: obs.NewWindow(telemetryBucketWidthUS, telemetryBuckets),
 	}
 }
 
@@ -114,6 +131,12 @@ type gameTelemetry struct {
 	liveSimTimeUS    int64
 	// pressureWindow folds (queued, capacity) occupancy pairs.
 	pressureWindow *obs.Window
+	// lastDevUJ remembers each device's last cumulative ledger total —
+	// the conservation check: a device's DeviceTotalUJ may only grow, so
+	// a decrease means lost or reordered energy accounting. Bounded like
+	// the per-generation device sets; violations counts the breaks.
+	lastDevUJ          map[int]float64
+	monotoneViolations int64
 }
 
 // telemetryAggregator is the bounded cloud-side store. One mutex is
@@ -143,6 +166,7 @@ func (a *telemetryAggregator) ingest(game string, recs []trace.TelemetryRecord) 
 		gt = &gameTelemetry{
 			gens:           make(map[int64]*genRollup),
 			pressureWindow: obs.NewWindow(telemetryBucketWidthUS, telemetryBuckets),
+			lastDevUJ:      make(map[int]float64),
 		}
 		a.games[game] = gt
 	}
@@ -172,6 +196,35 @@ func (a *telemetryAggregator) ingest(game string, recs []trace.TelemetryRecord) 
 		g.shadow += rec.ShadowChecks
 		g.mispredict += rec.Mispredicts
 		g.savedInstr += rec.SavedInstr
+		g.energyUJ += rec.EnergyUJ
+		g.groupUJ[0] += rec.SensorsUJ
+		g.groupUJ[1] += rec.MemoryUJ
+		g.groupUJ[2] += rec.CPUUJ
+		g.groupUJ[3] += rec.IPsUJ
+		g.lookupUJ += rec.LookupOverheadUJ
+		g.shadowUJ += rec.ShadowVerifyUJ
+		g.savedUJ += rec.SavedUJ
+		g.wastedUJ += rec.WastedUJ
+		g.elapsedUS += rec.ElapsedUS
+		if rec.EnergyUJ != 0 || rec.SavedUJ != 0 {
+			// Net spend: the short-circuit credit is subtracted so a
+			// generation whose hits stop earning credits (poisoned keys
+			// still match, mispredicts forfeit the credit) reads as more
+			// expensive even when its raw spend is unchanged.
+			g.energyWindow.Add(rec.SimTimeUS,
+				int64(math.Round(rec.EnergyUJ-rec.SavedUJ)), rec.Events)
+		}
+		if rec.DeviceTotalUJ > 0 {
+			if last, ok := gt.lastDevUJ[rec.Device]; ok {
+				if rec.DeviceTotalUJ < last {
+					gt.monotoneViolations++
+				} else {
+					gt.lastDevUJ[rec.Device] = rec.DeviceTotalUJ
+				}
+			} else if len(gt.lastDevUJ) < maxTelemetryDevices {
+				gt.lastDevUJ[rec.Device] = rec.DeviceTotalUJ
+			}
+		}
 		if rec.P99LookupNS > g.maxP99NS {
 			g.maxP99NS = rec.P99LookupNS
 		}
@@ -337,11 +390,18 @@ func (s *Service) updateFleetGauges(game string) {
 		a.mu.Unlock()
 		return
 	}
-	var hitRate float64
+	var hitRate, netPerEventUJ, savedFrac float64
 	if live, ok := gt.gens[gt.liveGen]; ok {
 		hitRate = live.effectiveHitRate()
+		if sum, cnt := live.energyWindow.Totals(); cnt > 0 {
+			netPerEventUJ = float64(sum) / float64(cnt)
+		}
+		if denom := live.energyUJ + live.savedUJ; denom > 0 {
+			savedFrac = live.savedUJ / denom
+		}
 	}
 	drift, _ := gt.drift()
+	regression, _ := gt.energyRegression()
 	pressure := gt.pressureWindow.Rate()
 	a.mu.Unlock()
 	s.reg.Gauge(`snip_cloud_fleet_hit_rate_permille{game="`+game+`"}`,
@@ -350,6 +410,12 @@ func (s *Service) updateFleetGauges(game string) {
 		"effective-hit-rate drift of the live table generation vs its predecessor, in permille (positive = regression)").Set(int64(drift * 1000))
 	s.reg.Gauge(`snip_cloud_fleet_ingest_pressure_permille{game="`+game+`"}`,
 		"windowed device upload+telemetry queue occupancy, in permille").Set(int64(pressure * 1000))
+	s.reg.Gauge(`snip_cloud_fleet_energy_per_event_nj{game="`+game+`"}`,
+		"live generation's windowed net modeled energy per event (spend minus short-circuit credit), in nanojoules").Set(int64(netPerEventUJ * 1000))
+	s.reg.Gauge(`snip_cloud_fleet_energy_regression_permille{game="`+game+`"}`,
+		"net energy-per-event delta of the live table generation vs its predecessor, in permille (positive = live costs more)").Set(int64(regression * 1000))
+	s.reg.Gauge(`snip_cloud_fleet_energy_saved_permille{game="`+game+`"}`,
+		"live generation's short-circuit credit as a fraction of spend plus credit, in permille").Set(int64(savedFrac * 1000))
 }
 
 // handleTelemetry ingests a SNIPTEL1 telemetry batch (?game=G).
@@ -400,10 +466,20 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleFleetz serves the aggregated fleet view; ?game=G filters to
-// one game.
+// one game and ?limit=N caps the generations returned per game (newest
+// retained). A present-but-empty game or a non-positive limit is the
+// caller's bug and gets a 400, not a silently unfiltered reply.
 func (s *Service) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	game, ok := gameFilterParam(w, r)
+	if !ok {
+		return
+	}
+	limit, ok := limitParam(w, r)
+	if !ok {
+		return
+	}
 	reply := s.Fleetz()
-	if game := r.URL.Query().Get("game"); game != "" {
+	if game != "" {
 		filtered := reply.Games[:0]
 		for _, g := range reply.Games {
 			if g.Game == game {
@@ -412,10 +488,49 @@ func (s *Service) handleFleetz(w http.ResponseWriter, r *http.Request) {
 		}
 		reply.Games = filtered
 	}
+	if limit > 0 {
+		for i := range reply.Games {
+			if gens := reply.Games[i].Generations; len(gens) > limit {
+				reply.Games[i].Generations = gens[len(gens)-limit:]
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(reply)
+}
+
+// gameFilterParam reads the optional ?game= filter. Unlike gameParam
+// (which requires the value), absence is fine — but a present-and-empty
+// "?game=" is rejected with a 400: the caller asked for a filter and
+// named nothing, which would otherwise read as "no filter" and return
+// every game.
+func gameFilterParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	vals, present := r.URL.Query()["game"]
+	if !present {
+		return "", true
+	}
+	if vals[0] == "" {
+		http.Error(w, "empty game", http.StatusBadRequest)
+		return "", false
+	}
+	return vals[0], true
+}
+
+// limitParam reads the optional ?limit= cap (0 = uncapped); a value
+// that does not parse as a positive integer gets a 400.
+func limitParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	lq := r.URL.Query().Get("limit")
+	if lq == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(lq)
+	if err != nil || n < 1 {
+		http.Error(w, "bad limit", http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }
 
 // UploadTelemetry ships a device's folded telemetry records to the

@@ -148,3 +148,14 @@ func DeliveryCost(e *Event) soc.Work {
 		}},
 	}
 }
+
+// DeliveryCostParts returns DeliveryCost's scalar components — total CPU
+// instructions, total memory traffic (the Binder copies plus the hub
+// call's), and the sensor hub's busy time — without materializing the
+// Work's IPCalls slice. The fleet's per-event energy ledger charges
+// delivery from these on a path pinned at 0 allocs/op;
+// TestDeliveryCostPartsMatch pins the two forms to each other.
+func DeliveryCostParts(e *Event) (cpuInstr int64, memBytes units.Size, hubBusy units.Time) {
+	size := e.Size()
+	return 18000 + int64(size)*4, size*2 + size, 12 * units.Microsecond
+}

@@ -273,6 +273,26 @@ func TestDeliveryCostPositive(t *testing.T) {
 	}
 }
 
+func TestDeliveryCostPartsMatch(t *testing.T) {
+	// The allocation-free parts form must never drift from the Work form
+	// the SoC simulator executes.
+	for _, e := range []*Event{
+		New(CameraFrame, 0, 0, 1, 2, 3, 4),
+		New(VSync, 0, 0, 1),
+		New(Tap, 0, 0, 120, 340, 5, 0, 1),
+	} {
+		w := DeliveryCost(e)
+		cpu, mem, hub := DeliveryCostParts(e)
+		wantMem := w.MemBytes
+		for _, c := range w.IPCalls {
+			wantMem += c.MemBytes
+		}
+		if cpu != w.CPUInstr || mem != wantMem || hub != w.IPCalls[0].Duration {
+			t.Fatalf("parts (%d, %v, %v) drifted from DeliveryCost %+v", cpu, mem, hub, w)
+		}
+	}
+}
+
 func TestQuantizationCollapsesNearbyTaps(t *testing.T) {
 	// Property: taps within the same 8 px cell and pressure bucket
 	// synthesize identical (hash-equal) events — the source of the

@@ -34,6 +34,7 @@ import (
 
 	"snip/internal/chaos"
 	"snip/internal/cloud"
+	"snip/internal/energy"
 	"snip/internal/events"
 	"snip/internal/games"
 	"snip/internal/memo"
@@ -116,6 +117,13 @@ type Config struct {
 	// disabled guard draws no randomness, so unguarded runs are
 	// byte-identical to builds without the guard.
 	Guard *GuardConfig
+	// Energy, when non-nil, enables the device-side energy attribution
+	// ledger: per-generation modeled µJ split by Fig. 2 group and cause
+	// bucket, folded into results, health verdicts and (when telemetry is
+	// on) TelemetryRecords. Like telemetry, the ledger consumes no
+	// randomness and reads no wall-clock, so enabling it leaves every
+	// deterministic run tally byte-identical.
+	Energy *EnergyConfig
 }
 
 func (c Config) validate() error {
@@ -212,6 +220,9 @@ type DeviceResult struct {
 	TelemetryBatches int64      `json:"telemetry_batches,omitempty"`
 	TelemetryBytes   units.Size `json:"telemetry_bytes,omitempty"`
 	TelemetryDropped int64      `json:"telemetry_dropped,omitempty"`
+	// Energy is the device's modeled-energy breakdown (nil when the
+	// ledger is disabled).
+	Energy *EnergyBreakdown `json:"energy,omitempty"`
 	// P99LookupNS is the device's own p99 probe latency estimate.
 	P99LookupNS int64 `json:"p99_lookup_ns"`
 	// Failed marks a device that died mid-run (injected crash or a
@@ -286,6 +297,9 @@ type Result struct {
 	Guard     *GuardReport     `json:"guard,omitempty"`
 	Chaos     *chaos.Counts    `json:"chaos,omitempty"`
 	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
+	// Energy is the fleet-wide energy attribution rollup (nil when the
+	// ledger is disabled).
+	Energy *EnergyReport `json:"energy,omitempty"`
 
 	// Health is the run judged against the SLO envelope (Config.SLO or
 	// DefaultSLOConfig). Always set by Run.
@@ -466,7 +480,8 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 	if err != nil {
 		return res, hist, err
 	}
-	tel := newDeviceTelemetry(co, id)
+	en := newEnergyTally(co)
+	tel := newDeviceTelemetry(co, id, en)
 
 	var pending []trace.SessionEvents
 	flush := func() error {
@@ -521,7 +536,7 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 			return res, hist, fmt.Errorf("fleet: device %d session %d: %w", id, s, chaos.ErrDeviceCrash)
 		}
 		seed := cfg.SeedBase + uint64(id*cfg.SessionsPerDevice+s)
-		log, err := co.session(game, gen, seed, &res, hist, tel)
+		log, err := co.session(game, gen, seed, &res, hist, tel, en)
 		if err != nil {
 			return res, hist, err
 		}
@@ -530,6 +545,9 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		if cfg.Client != nil {
 			pending = append(pending, trace.SessionEvents{Seed: seed, Log: log})
 		}
+		// The energy fold runs first: the telemetry fold that follows
+		// stamps its per-generation slices onto the outgoing records.
+		en.fold(&res)
 		tel.fold(s, &res, len(pending), batch)
 		if len(pending) >= batch {
 			if err := flush(); err != nil {
@@ -549,7 +567,7 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 // short-circuits (ApplyOutputs) or executes the handler — the same
 // decision the SNIP scheme makes, minus the energy simulation.
 func (co *coordinator) session(game games.Game, gen workload.Generator, seed uint64,
-	res *DeviceResult, hist *latHist, tel *deviceTelemetry) (*trace.EventLog, error) {
+	res *DeviceResult, hist *latHist, tel *deviceTelemetry, en *energyTally) (*trace.EventLog, error) {
 	cfg := co.cfg
 	sc := co.sessionCtx(seed)
 	sessionStart := time.Now()
@@ -600,11 +618,12 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 		}
 		tab, tabGen := cfg.Table.LoadGen()
 		tel.noteEvent(tabGen)
+		en.chargeDelivery(tabGen, e)
 		if tab == nil || co.guard.isOpen() {
 			// No table yet, or the breaker judged the current one unsafe:
 			// execute the handler in full. Always correct, never efficient
 			// — the fail-safe side of the trade.
-			game.Process(e)
+			en.chargeExec(tabGen, game.Process(e))
 			continue
 		}
 		ev := e
@@ -624,12 +643,15 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 		co.met.lookupNS.ObserveExemplar(ns, sc.Trace)
 		st.Observe(probes, cmpBytes, hit)
 		tel.noteLookup(tabGen, ns, hit)
+		en.chargeLookup(tabGen, probes, cmpBytes)
 		if hit {
 			if shadowSrc != nil && shadowSrc.Bool(co.guard.cfg.ShadowSampleRate) {
 				// Sampled shadow verification: run the real handler on a
 				// clone (before ApplyOutputs mutates the live game) and
 				// tell the guard whether the table's outputs were truth.
-				truth := game.Clone().Process(e).Record
+				texec := game.Clone().Process(e)
+				truth := texec.Record
+				en.chargeShadow(tabGen, texec)
 				mispredict := !trace.OutputsMatch(entry.Outputs, truth.Outputs)
 				co.guard.observe(tabGen, mispredict)
 				tel.noteShadow(tabGen, mispredict)
@@ -638,16 +660,18 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 					// outputs; applying the table's wrong ones anyway
 					// would corrupt the device's state — and every later
 					// lookup keyed on it — for the price of nothing. No
-					// SavedInstr credit either: the handler ran in full.
+					// SavedInstr credit either: the handler ran in full,
+					// and the ledger books no short-circuit credit.
 					game.ApplyOutputs(truth.Outputs)
 					continue
 				}
 			}
 			res.SavedInstr += entry.Instr
 			tel.noteSaved(tabGen, entry.Instr)
+			en.creditSaved(tabGen, entry.Instr)
 			game.ApplyOutputs(entry.Outputs)
 		} else {
-			game.Process(e)
+			en.chargeExec(tabGen, game.Process(e))
 		}
 	}
 	res.Lookup.Merge(st)
@@ -734,6 +758,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Telemetry != nil {
 		res.Telemetry = &TelemetryReport{}
 	}
+	if cfg.Energy != nil {
+		res.Energy = &EnergyReport{}
+	}
 	merged := &latHist{}
 	for d := range results {
 		results[d].P99LookupNS = hists[d].quantile(0.99)
@@ -751,7 +778,18 @@ func Run(cfg Config) (*Result, error) {
 			res.Telemetry.UploadBytes += dr.TelemetryBytes
 			res.Telemetry.Dropped += dr.TelemetryDropped
 		}
+		if res.Energy != nil && dr.Energy != nil {
+			res.Energy.add(dr.Energy)
+		}
 		merged.merge(hists[d])
+	}
+	if res.Energy != nil {
+		res.Energy.ElapsedUS = int64(res.Sessions) * int64(cfg.SessionDuration)
+		if res.Events > 0 {
+			res.Energy.EnergyPerEventUJ = res.Energy.TotalUJ / float64(res.Events)
+		}
+		res.Energy.BatteryHours = energy.DefaultBattery().HoursToDrain(
+			units.Energy(res.Energy.TotalUJ), units.Time(res.Energy.ElapsedUS))
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		res.LookupsPerSec = float64(res.Lookup.Lookups) / secs

@@ -23,6 +23,14 @@ type SLOConfig struct {
 	// MaxFailedDeviceFraction is the ceiling on the fraction of devices
 	// that died mid-run. Zero disables.
 	MaxFailedDeviceFraction float64 `json:"max_failed_device_fraction"`
+	// MinSavedEnergyFraction is the floor on the fraction of modeled
+	// energy the table's verified short-circuits recovered:
+	// saved / (spent + saved), both in real µJ from the energy ledger.
+	// This replaces the earlier SavedInstr instruction proxy in the
+	// verdicts (SavedInstr remains reported, as a plain counter). The
+	// check passes vacuously when the ledger is off or no hit ever
+	// earned a credit to judge. Zero disables.
+	MinSavedEnergyFraction float64 `json:"min_saved_energy_fraction"`
 }
 
 // DefaultSLOConfig is the envelope used when Config.SLO is nil.
@@ -41,6 +49,9 @@ func DefaultSLOConfig() SLOConfig {
 		// Half the fleet dying is a run to investigate even under an
 		// aggressive chaos profile.
 		MaxFailedDeviceFraction: 0.5,
+		// A table whose verified short-circuits recover under 2% of the
+		// modeled energy is not paying for its own lookups.
+		MinSavedEnergyFraction: 0.02,
 	}
 }
 
@@ -55,13 +66,17 @@ type SLOVerdict struct {
 }
 
 // DeviceHealth is one device's health view, distilled from its tallies.
+// SavedInstr is a plain instruction counter; EnergyUJ/SavedEnergyUJ are
+// the real modeled µJ the verdicts judge (zero when the ledger is off).
 type DeviceHealth struct {
-	Device      int     `json:"device"`
-	HitRate     float64 `json:"hit_rate"`
-	SavedInstr  int64   `json:"saved_instr"`
-	P99LookupNS int64   `json:"p99_lookup_ns"`
-	Retries     int     `json:"retries"`
-	Failed      bool    `json:"failed,omitempty"`
+	Device        int     `json:"device"`
+	HitRate       float64 `json:"hit_rate"`
+	SavedInstr    int64   `json:"saved_instr"`
+	EnergyUJ      float64 `json:"energy_uj,omitempty"`
+	SavedEnergyUJ float64 `json:"saved_energy_uj,omitempty"`
+	P99LookupNS   int64   `json:"p99_lookup_ns"`
+	Retries       int     `json:"retries"`
+	Failed        bool    `json:"failed,omitempty"`
 }
 
 // HealthSnapshot rolls per-device health into fleet-wide SLO verdicts.
@@ -70,6 +85,8 @@ type HealthSnapshot struct {
 	Healthy         bool           `json:"healthy"`
 	HitRate         float64        `json:"hit_rate"`
 	SavedInstr      int64          `json:"saved_instr"`
+	EnergyUJ        float64        `json:"energy_uj,omitempty"`
+	SavedEnergyUJ   float64        `json:"saved_energy_uj,omitempty"`
 	P99LookupNS     int64          `json:"p99_lookup_ns"`
 	Retries         int            `json:"retries"`
 	RetriesPerBatch float64        `json:"retries_per_batch"`
@@ -105,7 +122,13 @@ func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
 		if dr.Lookup.Lookups > 0 {
 			dh.HitRate = float64(dr.Lookup.Hits) / float64(dr.Lookup.Lookups)
 		}
+		if dr.Energy != nil {
+			dh.EnergyUJ = dr.Energy.TotalUJ
+			dh.SavedEnergyUJ = dr.Energy.SavedUJ
+		}
 		h.SavedInstr += dr.SavedInstr
+		h.EnergyUJ += dh.EnergyUJ
+		h.SavedEnergyUJ += dh.SavedEnergyUJ
 		h.Devices = append(h.Devices, dh)
 	}
 
@@ -164,6 +187,23 @@ func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
 			} else {
 				v.Detail = fmt.Sprintf("mispredict ratio %.3f above ceiling %.3f", ratio, slo.MaxMispredictRatio)
 			}
+		}
+		add(v)
+	}
+	if slo.MinSavedEnergyFraction > 0 {
+		frac := 0.0
+		if denom := h.EnergyUJ + h.SavedEnergyUJ; denom > 0 {
+			frac = h.SavedEnergyUJ / denom
+		}
+		v := SLOVerdict{
+			Name: "saved_energy_fraction", Value: frac, Threshold: slo.MinSavedEnergyFraction,
+			// Vacuous without a ledger or without a single credited hit:
+			// the hit_rate check owns "the table never hits"; this one
+			// judges whether the hits that did land were worth their µJ.
+			OK: res.Energy == nil || res.Energy.SavedUJ == 0 || frac >= slo.MinSavedEnergyFraction,
+		}
+		if !v.OK {
+			v.Detail = fmt.Sprintf("short-circuits recovered %.3f of modeled energy, below floor %.3f", frac, slo.MinSavedEnergyFraction)
 		}
 		add(v)
 	}

@@ -72,6 +72,9 @@ type deviceTelemetry struct {
 	co      *coordinator
 	device  int
 	flushAt int
+	// en is the device's energy tally (nil when the ledger is off); the
+	// fold stamps its per-generation interval slices onto the records.
+	en *energyTally
 	// gens accumulates the current session's tallies per generation;
 	// order remembers first-touch order, which is deterministic because
 	// the event stream is — records emit in it, so fold output never
@@ -84,7 +87,7 @@ type deviceTelemetry struct {
 	lastRetries int
 }
 
-func newDeviceTelemetry(co *coordinator, device int) *deviceTelemetry {
+func newDeviceTelemetry(co *coordinator, device int, en *energyTally) *deviceTelemetry {
 	if co.cfg.Telemetry == nil || co.cfg.Client == nil {
 		return nil
 	}
@@ -92,6 +95,7 @@ func newDeviceTelemetry(co *coordinator, device int) *deviceTelemetry {
 		co:      co,
 		device:  device,
 		flushAt: co.cfg.Telemetry.flushRecords(),
+		en:      en,
 		gens:    make(map[int64]*telemetryAccum),
 	}
 }
@@ -176,6 +180,7 @@ func (t *deviceTelemetry) fold(session int, res *DeviceResult, queueDepth, queue
 			TelemetryPending: int64(len(t.pending)),
 			TelemetryCap:     int64(t.flushAt),
 		}
+		t.en.stamp(gen, &rec)
 		retries = 0 // the interval's delta rides the first record only
 		t.pending = append(t.pending, rec)
 		res.TelemetryRecords++

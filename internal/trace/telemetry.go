@@ -55,6 +55,34 @@ type TelemetryRecord struct {
 	QueueCap         int64
 	TelemetryPending int64
 	TelemetryCap     int64
+
+	// Energy attribution (all values modeled µJ from the device's
+	// energy ledger; zero when the ledger is disabled). New fields on
+	// the SNIPTEL1 frame are wire-compatible: gob decodes frames
+	// missing them to zero values. EnergyUJ is the interval's charged
+	// total on this generation and equals the sum of the four Fig. 2
+	// group fields.
+	EnergyUJ  float64
+	SensorsUJ float64
+	MemoryUJ  float64
+	CPUUJ     float64
+	IPsUJ     float64
+	// Cause buckets: overhead of table probes/compares, sampled
+	// shadow-verify executions, the short-circuit credit (handler
+	// energy verified hits avoided — never part of EnergyUJ), and
+	// energy spent on events that changed no state.
+	LookupOverheadUJ float64
+	ShadowVerifyUJ   float64
+	SavedUJ          float64
+	WastedUJ         float64
+	// ElapsedUS is the simulated time attributed to this generation
+	// this interval (session duration split by event share); the cloud
+	// extrapolates battery-hours from ΣEnergyUJ over ΣElapsedUS.
+	ElapsedUS int64
+	// DeviceTotalUJ is the device's cumulative ledger total at fold
+	// time — monotone per device, which the cloud and fleetbench
+	// -validate use as a conservation check on shipped records.
+	DeviceTotalUJ float64
 }
 
 // TelemetryBatch is the unit of POST /v1/telemetry: one game's worth

@@ -17,11 +17,20 @@ func sampleTelemetryBatch() *TelemetryBatch {
 				SavedInstr: 9300, P99LookupNS: 850,
 				Retries: 1, QueueDepth: 2, QueueCap: 8,
 				TelemetryPending: 1, TelemetryCap: 8,
+				EnergyUJ: 6400.5, SensorsUJ: 144.0, MemoryUJ: 310.25,
+				CPUUJ: 5686.25, IPsUJ: 260.0,
+				LookupOverheadUJ: 610.5, ShadowVerifyUJ: 420.75,
+				SavedUJ: 2410.0, WastedUJ: 88.5,
+				ElapsedUS: 10_000_000, DeviceTotalUJ: 6400.5,
 			},
 			{
 				Device: 3, SimTimeUS: 20_000_000, Generation: 3,
 				Sessions: 1, Events: 400, Lookups: 390, Hits: 355,
 				SavedInstr: 10650, P99LookupNS: 790, QueueCap: 8, TelemetryCap: 8,
+				EnergyUJ: 5900.0, SensorsUJ: 144.0, MemoryUJ: 290.0,
+				CPUUJ: 5206.0, IPsUJ: 260.0,
+				LookupOverheadUJ: 580.0, SavedUJ: 2760.0,
+				ElapsedUS: 10_000_000, DeviceTotalUJ: 12300.5,
 			},
 		},
 	}
