@@ -36,6 +36,9 @@ go test -race -run 'Span|Trace|Healthz|Telemetry|Fleetz|Window|Energy|Ledger|Ene
 echo "== go test -race (shard router + delta OTA: queue-routed ingest, update negotiation, multi-round swaps)"
 go test -race -run 'Shard|Delta|Update|OTA' ./internal/cloud ./internal/memo ./internal/trace ./internal/fleet
 
+echo "== go test -race (overload survival: admission control, quotas, 429 backpressure, shared scheduler)"
+go test -race -run 'Overload|Shed|Quota|Backpressure' ./internal/cloud ./internal/fleet
+
 echo "== fleet bench smoke (sharded cloud, multi-round delta OTA, then schema validation incl. health/SLO and delta accounting)"
 go run ./cmd/fleetbench -devices 2,4 -sessions 2 -secs 5 -profile-sessions 2 \
 	-shards 2 -refreshes 2 -delta-cap 4 \
@@ -65,11 +68,18 @@ go run -race ./cmd/fleetbench -chaos all -chaos-seed 7 -shadow-rate 0.25 \
 go run ./cmd/fleetbench -validate /tmp/snip_bench_chaos_gate.json
 rm -f /tmp/snip_bench_chaos_gate.json
 
-echo "== allocation gate (memo lookup + metrics + span + telemetry-window + energy-ledger + post-delta-swap lookup hot paths must stay 0 allocs/op)"
+echo "== overload smoke (5000 devices on the shared scheduler, tiny quota + queue: conservation on both ledgers, guard never shed)"
+go run ./cmd/fleetbench -devices 5000 -sessions 1 -secs 2 -profile-sessions 2 \
+	-ota=false -overload -shard-queue-cap 2 -quota-rate 2 -quota-burst 2 \
+	-out /tmp/snip_bench_overload_smoke.json
+go run ./cmd/fleetbench -validate /tmp/snip_bench_overload_smoke.json
+rm -f /tmp/snip_bench_overload_smoke.json
+
+echo "== allocation gate (memo lookup + metrics + span + telemetry-window + energy-ledger + post-delta-swap lookup + admission token-bucket + scheduler-claim hot paths must stay 0 allocs/op)"
 # DeltaAppliedLookupHit serves from a table rebuilt via ApplyDelta: the
 # patch step may allocate, the table it publishes must look up alloc-free.
-alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|DeltaAppliedLookupHit|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord|WindowAdd|WindowObserveNil|LedgerEventCharge|LedgerAttribute' \
-	-benchmem -benchtime 1000x ./internal/memo ./internal/obs ./internal/energy)
+alloc_out=$(go test -run '^$' -bench 'SnipTableLookupHit|SnipTableLookupMiss|FlatLookupHit|FlatLookupMiss|FlatLookupSweep|SharedLookupParallel|SharedLookupSpan|DeltaAppliedLookupHit|CounterInc|GaugeSet|HistogramObserve|HistogramObserveExemplar|SpanStartFinish|TracerRecord|WindowAdd|WindowObserveNil|LedgerEventCharge|LedgerAttribute|TokenBucketTake|SchedulerClaim' \
+	-benchmem -benchtime 1000x ./internal/memo ./internal/obs ./internal/energy ./internal/cloud ./internal/fleet)
 echo "$alloc_out"
 bad=$(echo "$alloc_out" | awk '/allocs\/op/ && $(NF-1) + 0 > 0')
 if [ -n "$bad" ]; then

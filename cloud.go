@@ -33,6 +33,35 @@ func NewCloudServiceSharded(o PFIOptions, shards int) *CloudService {
 	return &CloudService{svc: cloud.NewShardedService(o.config(), shards)}
 }
 
+// CloudServiceOptions configures the service's overload-survival knobs
+// on top of the shard count. The zero value matches
+// NewCloudServiceSharded's defaults.
+type CloudServiceOptions struct {
+	// Shards is the profiler replica count (default 1).
+	Shards int
+	// QueueCap bounds each shard's ingest queue (default 64); a full
+	// queue sheds with 429 + Retry-After.
+	QueueCap int
+	// QuotaRatePerSec, when > 0, gates bulk ingest per game with a
+	// token bucket: sustained requests/second allowed per game.
+	QuotaRatePerSec float64
+	// QuotaBurst is the bucket capacity (defaults to QuotaRatePerSec).
+	QuotaBurst float64
+}
+
+// NewCloudServiceWithOptions builds the sharded profiler service with
+// explicit admission-control knobs: shard queue capacity and per-game
+// ingest quotas. Every ingest endpoint then runs behind the admission
+// controller, whose live view is served at GET /v1/overloadz. Call
+// Close when done.
+func NewCloudServiceWithOptions(o PFIOptions, co CloudServiceOptions) *CloudService {
+	return &CloudService{svc: cloud.NewServiceWithOptions(o.config(), cloud.ServiceOptions{
+		Shards:   co.Shards,
+		QueueCap: co.QueueCap,
+		Quota:    cloud.QuotaConfig{RatePerSec: co.QuotaRatePerSec, Burst: co.QuotaBurst},
+	})}
+}
+
 // Close stops the shard workers and drains in-flight ingest work. Call
 // after the HTTP server has stopped accepting requests.
 func (s *CloudService) Close() { s.svc.Close() }

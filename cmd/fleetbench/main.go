@@ -11,9 +11,19 @@
 // map and flat table backends head to head across row counts (1k–10M)
 // without any fleet machinery in the way.
 //
+// Devices run on a shared scheduler (a fixed worker pool claiming
+// device indexes, -fleet-workers to size it), so -devices 100000 runs
+// on one box; past snip.FleetDetailMax devices reports carry aggregates
+// only. -overload opts the fleet into the 429 backpressure contract
+// against a quota-/queue-constrained cloud (-shard-queue-cap,
+// -quota-rate, -quota-burst) and -validate then proves the conservation
+// identity offered = accepted + shed + dropped on both the device and
+// cloud ledgers, with guard-class traffic never shed.
+//
 // Usage:
 //
 //	fleetbench -game Colorphun -devices 1,2,4,8 -out BENCH_fleet.json
+//	fleetbench -devices 100000 -overload -ota=false -quota-rate 50 -out BENCH_overload.json
 //	fleetbench -lookup-sweep default -out BENCH_lookup.json
 //	fleetbench -validate BENCH_fleet.json
 package main
@@ -74,8 +84,58 @@ type benchFile struct {
 	// set, validation enforces the ledger's conservation identities on
 	// every run (group sums equal the total, per-event and battery-hours
 	// figures consistent).
-	Energy bool                `json:"energy,omitempty"`
-	Runs   []*snip.FleetReport `json:"runs"`
+	Energy bool `json:"energy,omitempty"`
+	// Workload names the behaviour-model preset the sweep ran under
+	// ("" = default human play, "eventcam" = high-rate sensor overlay).
+	Workload string `json:"workload,omitempty"`
+	// Overload records whether the sweep ran the overload contract
+	// (cloud admission control + 429-aware client backpressure); when
+	// set, validation enforces the batch conservation identity on both
+	// the device and cloud ledgers and that guard-class traffic was
+	// never shed.
+	Overload bool `json:"overload,omitempty"`
+	// ShardQueueCap is the per-shard ingest queue bound the cloud ran
+	// with (0 = service default).
+	ShardQueueCap int `json:"shard_queue_cap,omitempty"`
+	// QuotaRate/QuotaBurst are the per-game bulk-ingest token-bucket
+	// quota the cloud enforced (0 = no quota).
+	QuotaRate  float64 `json:"quota_rate,omitempty"`
+	QuotaBurst float64 `json:"quota_burst,omitempty"`
+	// Grades is the SoC speed-grade cycle the fleet ran with ("" =
+	// homogeneous).
+	Grades string      `json:"grades,omitempty"`
+	Runs   []*fleetRun `json:"runs"`
+}
+
+// fleetRun is one sweep point: the fleet report plus the cloud's
+// admission-controller view captured right after the run.
+type fleetRun struct {
+	*snip.FleetReport
+	Overloadz *overloadzReply `json:"overloadz,omitempty"`
+}
+
+// overloadzReply mirrors GET /v1/overloadz: the admission controller's
+// queue occupancy, shed ratio, autoscale signal, and per-class
+// conservation ledger (offered = accepted + shed + dropped per class).
+type overloadzReply struct {
+	QueueCap   int             `json:"queue_cap"`
+	Shards     int             `json:"shards"`
+	Occupancy  float64         `json:"occupancy"`
+	ShedRatio  float64         `json:"shed_ratio"`
+	Signal     float64         `json:"signal"`
+	Verdict    string          `json:"verdict"`
+	QuotaRate  float64         `json:"quota_rate_per_sec,omitempty"`
+	QuotaBurst float64         `json:"quota_burst,omitempty"`
+	QuotaShed  int64           `json:"quota_shed"`
+	Classes    []overloadClass `json:"classes"`
+}
+
+type overloadClass struct {
+	Class    string `json:"class"`
+	Offered  int64  `json:"offered"`
+	Accepted int64  `json:"accepted"`
+	Shed     int64  `json:"shed"`
+	Dropped  int64  `json:"dropped"`
 }
 
 // fleetzReply mirrors the subset of GET /v1/fleetz the bench prints and
@@ -150,6 +210,13 @@ func main() {
 	shadowRate := flag.Float64("shadow-rate", 0, "mispredict-guard shadow-verification sample rate (0 = guard off)")
 	telemetry := flag.Bool("telemetry", true, "fold per-generation device telemetry and ship it to the cloud's /v1/telemetry")
 	energy := flag.Bool("energy", true, "run the device-side energy attribution ledger (modeled µJ per table generation)")
+	workloadPreset := flag.String("workload", "", `behaviour-model preset: "" or "default" (human play), "eventcam" (high-rate sensor overlay, 10-100x event rate)`)
+	overload := flag.Bool("overload", false, "run the overload contract: 429-aware client backpressure with retry budgets; pair with -shard-queue-cap/-quota-rate to make the cloud shed")
+	queueCap := flag.Int("shard-queue-cap", 0, "per-shard ingest queue bound on the cloud (0 = service default, 64)")
+	quotaRate := flag.Float64("quota-rate", 0, "per-game bulk-ingest quota: sustained requests/second (0 = no quota)")
+	quotaBurst := flag.Float64("quota-burst", 0, "per-game quota burst capacity (0 = same as -quota-rate)")
+	grades := flag.String("grades", "", `SoC speed-grade cycle, comma-separated (e.g. "1.0,0.8,0.5"): device d runs at grade d mod len`)
+	fleetWorkers := flag.Int("fleet-workers", 0, "fleet scheduler worker-pool size (0 = 2x GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "worker-pool size for profiling and PFI; 0 = GOMAXPROCS")
 	gmp := flag.Int("gomaxprocs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default)")
 	backend := flag.String("backend", "flat", `table backend to serve: "flat" (zero-copy image) or "map" (legacy)`)
@@ -226,6 +293,9 @@ func main() {
 			table.Rows(), table.SizeBytes())
 	}
 
+	gradeCycle, err := parseGrades(*grades)
+	fatalIf(err)
+
 	file := &benchFile{
 		Bench: "fleet", Game: *game,
 		SessionsPerDevice: *sessions, SessionSecs: *secs, BatchSize: *batch,
@@ -233,15 +303,26 @@ func main() {
 		Shards: *shards, DeltaCap: *deltaCap, Refreshes: *refreshes,
 		Chaos: *chaosProf, ChaosSeed: *chaosSeed, ShadowRate: *shadowRate,
 		Telemetry: *telemetry, Energy: *energy,
+		Workload: *workloadPreset, Overload: *overload,
+		ShardQueueCap: *queueCap, QuotaRate: *quotaRate, QuotaBurst: *quotaBurst,
+		Grades: *grades,
+	}
+	set := runSettings{
+		game: *game, table: table, sessions: *sessions, dur: dur, batch: *batch,
+		ota: *ota, refreshAfter: *refreshAfter, refreshes: *refreshes,
+		shards: *shards, deltaCap: *deltaCap, backend: *backend,
+		chaosProf: *chaosProf, chaosSeed: *chaosSeed, shadowRate: *shadowRate,
+		telemetry: *telemetry, energy: *energy,
+		workload: *workloadPreset, overload: *overload,
+		queueCap: *queueCap, quotaRate: *quotaRate, quotaBurst: *quotaBurst,
+		grades: gradeCycle, fleetWorkers: *fleetWorkers,
 	}
 	// One Metrics across the sweep: the snip_fleet_* series accumulate
 	// over every device count, and the span ring retains the tail of the
 	// last runs' traces.
 	met := snip.NewMetrics()
 	for _, n := range counts {
-		rep, fz, ez, err := runOnce(*game, table, n, *sessions, dur, *batch, *ota,
-			*refreshAfter, *refreshes, *shards, *deltaCap, *backend,
-			*chaosProf, *chaosSeed, *shadowRate, *telemetry, *energy, met)
+		rep, fz, ez, err := runOnce(set, n, met)
 		fatalIf(err)
 		file.Runs = append(file.Runs, rep)
 		health := "healthy"
@@ -264,6 +345,22 @@ func main() {
 					rep.Guard.Trips, rep.Guard.Rollbacks, rep.Guard.BreakerOpen)
 			}
 			fmt.Fprintln(os.Stderr, line)
+		}
+		if *overload {
+			fmt.Fprintf(os.Stderr,
+				"          overload: offered=%d accepted=%d shed=%d dropped=%d  429s=%d  backoff=%.2fs\n",
+				rep.OfferedBatches, rep.Batches, rep.BatchesShed, rep.BatchesDropped,
+				rep.Shed429, float64(rep.BackoffNS)/1e9)
+			if oz := rep.Overloadz; oz != nil {
+				fmt.Fprintf(os.Stderr,
+					"          overloadz: occupancy=%.2f shed_ratio=%.3f signal=%.3f (%s)  quota_shed=%d\n",
+					oz.Occupancy, oz.ShedRatio, oz.Signal, oz.Verdict, oz.QuotaShed)
+				for _, c := range oz.Classes {
+					fmt.Fprintf(os.Stderr,
+						"            class %-9s offered=%-6d accepted=%-6d shed=%-6d dropped=%d\n",
+						c.Class, c.Offered, c.Accepted, c.Shed, c.Dropped)
+				}
+			}
 		}
 		if rep.OTAUpdates > 0 {
 			fmt.Fprintf(os.Stderr,
@@ -331,20 +428,47 @@ func main() {
 	}
 }
 
+// runSettings carries the sweep-wide knobs runOnce applies to every
+// device count.
+type runSettings struct {
+	game                                      string
+	table                                     *snip.Table
+	sessions                                  int
+	dur                                       time.Duration
+	batch                                     int
+	ota                                       bool
+	refreshAfter, refreshes, shards, deltaCap int
+	backend                                   string
+	chaosProf                                 string
+	chaosSeed                                 uint64
+	shadowRate                                float64
+	telemetry, energy                         bool
+	workload                                  string
+	overload                                  bool
+	queueCap                                  int
+	quotaRate, quotaBurst                     float64
+	grades                                    []float64
+	fleetWorkers                              int
+}
+
 // runOnce measures one device count against a fresh in-process cloud, so
 // sweep points don't feed each other's profiles. When telemetry is on it
 // also reads the cloud's /v1/fleetz rollup before the service goes away,
 // so the drift and ingest-pressure verdicts the run produced are visible
-// in the sweep output.
-func runOnce(game string, table *snip.Table, devices, sessions int,
-	dur time.Duration, batch int, ota bool, refreshAfter, refreshes, shards, deltaCap int,
-	backend string, chaosProf string, chaosSeed uint64, shadowRate float64, telemetry, energy bool,
-	met *snip.Metrics) (*snip.FleetReport, *fleetzReply, *energyzReply, error) {
-	svc := snip.NewCloudServiceSharded(snip.DefaultPFIOptions(), shards)
+// in the sweep output. Every run also captures /v1/overloadz — the
+// admission controller's conservation ledger — and, in overload runs,
+// probes /v1/healthz to prove guard-class traffic is never shed.
+func runOnce(set runSettings, devices int, met *snip.Metrics) (*fleetRun, *fleetzReply, *energyzReply, error) {
+	svc := snip.NewCloudServiceWithOptions(snip.DefaultPFIOptions(), snip.CloudServiceOptions{
+		Shards:          set.shards,
+		QueueCap:        set.queueCap,
+		QuotaRatePerSec: set.quotaRate,
+		QuotaBurst:      set.quotaBurst,
+	})
 	defer svc.Close()
-	svc.SetLegacyTables(backend == "map")
-	if deltaCap > 0 {
-		svc.SetDeltaCap(deltaCap)
+	svc.SetLegacyTables(set.backend == "map")
+	if set.deltaCap > 0 {
+		svc.SetDeltaCap(set.deltaCap)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -356,54 +480,127 @@ func runOnce(game string, table *snip.Table, devices, sessions int,
 
 	cloudURL := "http://" + ln.Addr().String()
 	opts := snip.FleetOptions{
-		Game: game, Devices: devices, SessionsPerDevice: sessions,
-		Duration: dur, SeedBase: 5000,
-		Table:     snip.NewSharedTable(table),
-		CloudURL:  cloudURL,
-		BatchSize: batch,
-		Metrics:   met,
-		Telemetry: telemetry,
-		Energy:    energy,
+		Game: set.game, Workload: set.workload,
+		Devices: devices, SessionsPerDevice: set.sessions,
+		Duration: set.dur, SeedBase: 5000,
+		Table:       snip.NewSharedTable(set.table),
+		CloudURL:    cloudURL,
+		BatchSize:   set.batch,
+		Metrics:     met,
+		Telemetry:   set.telemetry,
+		Energy:      set.energy,
+		Workers:     set.fleetWorkers,
+		SpeedGrades: set.grades,
 	}
-	if ota {
+	if set.overload {
+		opts.Overload = &snip.OverloadOptions{}
+	}
+	if set.ota {
 		// One live rebuild+swap once half the fleet's sessions are in —
 		// or earlier/later when -refresh-after overrides the midpoint
 		// (an early swap gives a bad OTA generation a longer live window,
 		// which is what makes the drift signal visible end to end). With
 		// -refreshes > 1 the refresh threshold shrinks so every round fits
 		// inside the run; rounds past the first ride the delta path.
-		opts.RefreshAfterSessions = (devices*sessions + 1) / 2
-		if refreshAfter > 0 {
-			opts.RefreshAfterSessions = refreshAfter
+		opts.RefreshAfterSessions = (devices*set.sessions + 1) / 2
+		if set.refreshAfter > 0 {
+			opts.RefreshAfterSessions = set.refreshAfter
 		}
-		opts.Refreshes = refreshes
-		if refreshes > 1 {
-			if per := devices * sessions / (refreshes + 1); per > 0 && refreshAfter == 0 {
+		opts.Refreshes = set.refreshes
+		if set.refreshes > 1 {
+			if per := devices * set.sessions / (set.refreshes + 1); per > 0 && set.refreshAfter == 0 {
 				opts.RefreshAfterSessions = per
 			}
 		}
 	}
-	if chaosProf != "" && chaosProf != "off" {
-		opts.Chaos = &snip.ChaosOptions{Profile: chaosProf, Seed: chaosSeed}
+	if set.chaosProf != "" && set.chaosProf != "off" {
+		opts.Chaos = &snip.ChaosOptions{Profile: set.chaosProf, Seed: set.chaosSeed}
 	}
-	if shadowRate > 0 {
-		opts.Guard = &snip.GuardOptions{ShadowSampleRate: shadowRate}
+	if set.shadowRate > 0 {
+		opts.Guard = &snip.GuardOptions{ShadowSampleRate: set.shadowRate}
 	}
 	rep, err := snip.RunFleet(opts)
-	if err != nil || !telemetry {
-		return rep, nil, nil, err
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	run := &fleetRun{FleetReport: rep}
+	if set.overload {
+		// Guard-class traffic must be admitted even while bulk is being
+		// shed: probe the health endpoint right after the run, while the
+		// admission controller still remembers its worst occupancy.
+		if err := probeHealthz(cloudURL, 3); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if run.Overloadz, err = fetchOverloadz(cloudURL); err != nil {
+		return nil, nil, nil, fmt.Errorf("overloadz after run: %w", err)
+	}
+	if !set.telemetry {
+		return run, nil, nil, nil
 	}
 	fz, err := fetchFleetz(cloudURL)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("fleetz after run: %w", err)
 	}
 	var ez *energyzReply
-	if energy {
+	if set.energy {
 		if ez, err = fetchEnergyz(cloudURL); err != nil {
 			return nil, nil, nil, fmt.Errorf("energyz after run: %w", err)
 		}
 	}
-	return rep, fz, ez, nil
+	return run, fz, ez, nil
+}
+
+// probeHealthz hits GET /v1/healthz n times and fails only on a 429,
+// which would mean the admission controller shed guard-class traffic.
+// A 503 is fine: under deliberate overload the service legitimately
+// reports itself degraded (shed bulk requests count against its error
+// ratio) — what matters here is that the request was ADMITTED.
+func probeHealthz(base string, n int) error {
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			return fmt.Errorf("healthz probe: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("healthz probe %d: HTTP 429 (guard-class traffic must never be shed)", i)
+		}
+	}
+	return nil
+}
+
+// fetchOverloadz reads the admission controller's post-run state.
+func fetchOverloadz(base string) (*overloadzReply, error) {
+	resp, err := http.Get(base + "/v1/overloadz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("overloadz: HTTP %d", resp.StatusCode)
+	}
+	var oz overloadzReply
+	if err := json.NewDecoder(resp.Body).Decode(&oz); err != nil {
+		return nil, err
+	}
+	return &oz, nil
+}
+
+// parseGrades parses the -grades cycle ("1.0,0.8,0.5").
+func parseGrades(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		g, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || g <= 0 {
+			return nil, fmt.Errorf("bad speed grade %q", part)
+		}
+		out = append(out, g)
+	}
+	return out, nil
 }
 
 // fetchFleetz reads the in-process cloud's fleet rollup. The service is
@@ -494,7 +691,9 @@ func validateFile(path string) error {
 		return fmt.Errorf("no runs")
 	}
 	chaotic := f.Chaos != "" && f.Chaos != "off"
+	var totalShed429 int64
 	for i, r := range f.Runs {
+		totalShed429 += r.Shed429
 		if chaotic {
 			// Under fault injection crashed devices legitimately play fewer
 			// sessions, and wire corruption perturbs the upload accounting —
@@ -536,7 +735,9 @@ func validateFile(path string) error {
 		if err := validateOTA(i, r, &f, chaotic); err != nil {
 			return err
 		}
-		if err := validateTelemetry(i, r, f.Telemetry, chaotic); err != nil {
+		// Overload sweeps may legitimately drop telemetry: a shed upload
+		// (429 to the end) counts its records dropped, never silently.
+		if err := validateTelemetry(i, r, f.Telemetry, chaotic || f.Overload); err != nil {
 			return err
 		}
 		if err := validateEnergy(i, r, f.Energy); err != nil {
@@ -545,6 +746,71 @@ func validateFile(path string) error {
 		if err := validateHealth(i, r, chaotic); err != nil {
 			return err
 		}
+		if err := validateOverload(i, r, &f, chaotic); err != nil {
+			return err
+		}
+	}
+	// A quota-gated overload sweep must actually have shed: the quota is
+	// sized to refuse part of the offered load, and the client ledger
+	// counts every 429 it absorbed.
+	if f.Overload && f.QuotaRate > 0 && totalShed429 == 0 {
+		return fmt.Errorf("overload sweep with quota rate %.1f/s absorbed zero 429s", f.QuotaRate)
+	}
+	return nil
+}
+
+// validateOverload checks the batch conservation identity on both
+// ledgers. Device side: every offered batch ends accepted, shed, or
+// dropped. Cloud side (the /v1/overloadz snapshot): the same identity
+// per priority class, and the guard class — health and guard probes —
+// must never have been shed, no matter how hard bulk was.
+func validateOverload(i int, r *fleetRun, f *benchFile, chaotic bool) error {
+	switch {
+	case r.OfferedBatches != r.Batches+r.BatchesShed+r.BatchesDropped:
+		return fmt.Errorf("run %d: offered %d != accepted %d + shed %d + dropped %d",
+			i, r.OfferedBatches, r.Batches, r.BatchesShed, r.BatchesDropped)
+	case !f.Overload && r.BatchesShed != 0:
+		return fmt.Errorf("run %d: %d batches shed without the overload contract", i, r.BatchesShed)
+	case !f.Overload && r.Shed429 != 0:
+		return fmt.Errorf("run %d: %d client 429s recorded without the overload contract", i, r.Shed429)
+	case !chaotic && !f.Overload && r.BatchesDropped != 0:
+		return fmt.Errorf("run %d: %d batches dropped on a clean run", i, r.BatchesDropped)
+	case r.BackoffNS < 0:
+		return fmt.Errorf("run %d: negative backoff time", i)
+	case r.Shed429 > 0 && r.BatchesShed == 0 && r.Batches == 0:
+		return fmt.Errorf("run %d: %d client 429s but no batch outcome recorded", i, r.Shed429)
+	}
+	oz := r.Overloadz
+	if oz == nil {
+		if f.Overload {
+			return fmt.Errorf("run %d: overload sweep without an overloadz snapshot", i)
+		}
+		return nil
+	}
+	if oz.QueueCap < 1 || oz.Shards < 1 {
+		return fmt.Errorf("run %d: overloadz reports queue cap %d / %d shards", i, oz.QueueCap, oz.Shards)
+	}
+	var bulkShed int64
+	for _, c := range oz.Classes {
+		if c.Offered != c.Accepted+c.Shed+c.Dropped {
+			return fmt.Errorf("run %d: class %s offered %d != accepted %d + shed %d + dropped %d",
+				i, c.Class, c.Offered, c.Accepted, c.Shed, c.Dropped)
+		}
+		switch c.Class {
+		case "guard":
+			if c.Shed != 0 {
+				return fmt.Errorf("run %d: admission shed %d guard-class requests (must never happen)", i, c.Shed)
+			}
+		case "bulk":
+			bulkShed = c.Shed
+		}
+	}
+	// Every 429 a device absorbed is a request the cloud's bulk ledger
+	// shed; the cloud may have shed more (other callers, retries the
+	// budget cut short, rebuild traffic).
+	if bulkShed < r.Shed429 {
+		return fmt.Errorf("run %d: devices absorbed %d 429s but the cloud ledger shed only %d bulk requests",
+			i, r.Shed429, bulkShed)
 	}
 	return nil
 }
@@ -554,7 +820,7 @@ func validateFile(path string) error {
 // account for every OTA wire byte, and no applied chain may exceed the
 // bench's delta cap. Chaos runs keep the arithmetic checks — corruption
 // changes which path a round takes, never the accounting identity.
-func validateOTA(i int, r *snip.FleetReport, f *benchFile, chaotic bool) error {
+func validateOTA(i int, r *fleetRun, f *benchFile, chaotic bool) error {
 	switch {
 	case r.OTABytes != r.OTADeltaBytes+r.OTAFullBytes:
 		return fmt.Errorf("run %d: ota bytes %d != delta %d + full %d",
@@ -591,7 +857,7 @@ func validateOTA(i int, r *snip.FleetReport, f *benchFile, chaotic bool) error {
 // and accounted for every one of them (shipped or explicitly dropped —
 // telemetry is best-effort but never silently lossy), and a disabled one
 // must not report anything.
-func validateTelemetry(i int, r *snip.FleetReport, enabled, chaotic bool) error {
+func validateTelemetry(i int, r *fleetRun, enabled, chaotic bool) error {
 	t := r.Telemetry
 	if !enabled {
 		if t != nil {
@@ -625,7 +891,7 @@ func validateTelemetry(i int, r *snip.FleetReport, enabled, chaotic bool) error 
 // to the total, a run that served events must have charged energy, and
 // the derived per-event and battery-hours figures must be present and
 // consistent.
-func validateEnergy(i int, r *snip.FleetReport, enabled bool) error {
+func validateEnergy(i int, r *fleetRun, enabled bool) error {
 	e := r.Energy
 	if !enabled {
 		if e != nil {
@@ -662,28 +928,36 @@ func validateEnergy(i int, r *snip.FleetReport, enabled bool) error {
 // validateHealth checks the health/SLO section every run must carry.
 // Chaos runs are allowed to be degraded — that is the point of injecting
 // faults — but the report must still be internally consistent.
-func validateHealth(i int, r *snip.FleetReport, chaotic bool) error {
+func validateHealth(i int, r *fleetRun, chaotic bool) error {
 	h := r.Health
+	// Mega-fleets past the per-device detail bound report aggregates
+	// only; smaller fleets must carry one health row per device.
+	detail := r.Devices <= snip.FleetDetailMax
 	switch {
 	case h == nil:
 		return fmt.Errorf("run %d: missing health section", i)
 	case len(h.Verdicts) == 0:
 		return fmt.Errorf("run %d: health carries no SLO verdicts", i)
-	case len(h.Devices) != r.Devices:
+	case detail && len(h.Devices) != r.Devices:
 		return fmt.Errorf("run %d: %d device health entries, want %d", i, len(h.Devices), r.Devices)
+	case !detail && len(h.Devices) != 0:
+		return fmt.Errorf("run %d: %d device health entries on a compact (>%d device) run",
+			i, len(h.Devices), snip.FleetDetailMax)
 	case r.Hits > 0 && h.SavedInstr <= 0:
 		return fmt.Errorf("run %d: hits but no saved instructions", i)
 	case h.P99LookupNS != r.P99LookupNS:
 		return fmt.Errorf("run %d: health p99 %d != run p99 %d", i, h.P99LookupNS, r.P99LookupNS)
 	}
-	failedInHealth := 0
-	for _, d := range h.Devices {
-		if d.Failed {
-			failedInHealth++
+	if detail {
+		failedInHealth := 0
+		for _, d := range h.Devices {
+			if d.Failed {
+				failedInHealth++
+			}
 		}
-	}
-	if failedInHealth != r.FailedDevices {
-		return fmt.Errorf("run %d: health marks %d failed devices, report says %d", i, failedInHealth, r.FailedDevices)
+		if failedInHealth != r.FailedDevices {
+			return fmt.Errorf("run %d: health marks %d failed devices, report says %d", i, failedInHealth, r.FailedDevices)
+		}
 	}
 	for _, v := range h.Verdicts {
 		if v.Name == "" {

@@ -19,7 +19,12 @@
 //	GET  /v1/update?game=G&gen=N     (CRC-guarded delta chain from gen N, or full image)
 //	GET  /v1/status?game=G
 //	GET  /v1/shardz                  (per-shard ingest/queue/OTA rollup)
+//	GET  /v1/overloadz               (admission controller: classes, quotas, autoscale signal)
 //	GET  /v1/metrics                 (Prometheus text exposition)
+//
+// -shard-queue-cap bounds each shard's ingest queue and -quota-rate /
+// -quota-burst gate bulk ingest per game; overflow is shed with 429 +
+// Retry-After, never blocking guard- or telemetry-class requests.
 package main
 
 import (
@@ -43,6 +48,9 @@ func main() {
 	legacyTables := flag.Bool("legacy-tables", false, "serve map-backed tables as gob instead of the zero-copy flat image")
 	shards := flag.Int("shards", 1, "in-process profiler shard replicas behind the rendezvous router")
 	deltaCap := flag.Int("delta-cap", 0, "longest delta chain /v1/update ships before falling back to a full image (0 = default)")
+	queueCap := flag.Int("shard-queue-cap", 0, "bound on each shard's ingest queue; a full queue sheds with 429 + Retry-After (0 = default 64)")
+	quotaRate := flag.Float64("quota-rate", 0, "per-game bulk-ingest quota in requests/second; 0 disables the token bucket")
+	quotaBurst := flag.Float64("quota-burst", 0, "per-game quota bucket capacity (0 = same as -quota-rate)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -55,7 +63,16 @@ func main() {
 		logger.Error("bad -shards", "shards", *shards)
 		os.Exit(2)
 	}
-	svc := snip.NewCloudServiceSharded(snip.DefaultPFIOptions(), *shards)
+	if *queueCap < 0 || *quotaRate < 0 || *quotaBurst < 0 {
+		logger.Error("bad overload knob", "shard-queue-cap", *queueCap, "quota-rate", *quotaRate, "quota-burst", *quotaBurst)
+		os.Exit(2)
+	}
+	svc := snip.NewCloudServiceWithOptions(snip.DefaultPFIOptions(), snip.CloudServiceOptions{
+		Shards:          *shards,
+		QueueCap:        *queueCap,
+		QuotaRatePerSec: *quotaRate,
+		QuotaBurst:      *quotaBurst,
+	})
 	defer svc.Close()
 	svc.SetLogger(logger)
 	svc.SetLegacyTables(*legacyTables)

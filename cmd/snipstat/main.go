@@ -1,9 +1,11 @@
 // Command snipstat is a live text dashboard for a running profilerd:
-// it polls /v1/healthz, /v1/metrics, /v1/shardz, /v1/fleetz,
-// /v1/energyz and /v1/tracez and renders the service's health
-// verdicts, the key ingest counters, the per-shard rollup (ingest,
-// queue pressure, delta-vs-full OTA serving), the fleet-telemetry
-// rollups (per-generation hit-rate sparklines and the drift /
+// it polls /v1/healthz, /v1/metrics, /v1/shardz, /v1/overloadz,
+// /v1/fleetz, /v1/energyz and /v1/tracez and renders the service's
+// health verdicts, the key ingest counters, the per-shard rollup
+// (ingest, queue pressure, delta-vs-full OTA serving), the admission
+// controller's overload view (priority-class shed ledgers, per-game
+// quotas, the autoscale signal), the fleet-telemetry rollups
+// (per-generation hit-rate sparklines and the drift /
 // ingest-pressure verdicts), the fleet energy ledger (Fig-2-style
 // group breakdown, net-energy-per-event regression verdicts) and the
 // most recent distributed traces.
@@ -89,6 +91,37 @@ type shardzsRow struct {
 	OTADeltaBytes  int64    `json:"ota_delta_bytes"`
 	OTAFullBytes   int64    `json:"ota_full_bytes"`
 	MaxDeltaChain  int      `json:"max_delta_chain"`
+}
+
+// overloadz mirrors GET /v1/overloadz — the admission controller's
+// live view: priority-class ledgers, per-game quota buckets and the
+// autoscale signal.
+type overloadz struct {
+	QueueCap   int             `json:"queue_cap"`
+	Shards     int             `json:"shards"`
+	Occupancy  float64         `json:"occupancy"`
+	ShedRatio  float64         `json:"shed_ratio"`
+	Signal     float64         `json:"signal"`
+	Verdict    string          `json:"verdict"`
+	QuotaRate  float64         `json:"quota_rate_per_sec"`
+	QuotaBurst float64         `json:"quota_burst"`
+	QuotaShed  int64           `json:"quota_shed"`
+	Classes    []overloadClass `json:"classes"`
+	Quotas     []overloadQuota `json:"quotas"`
+}
+
+type overloadClass struct {
+	Class    string `json:"class"`
+	Offered  int64  `json:"offered"`
+	Accepted int64  `json:"accepted"`
+	Shed     int64  `json:"shed"`
+	Dropped  int64  `json:"dropped"`
+}
+
+type overloadQuota struct {
+	Game   string  `json:"game"`
+	Tokens float64 `json:"tokens"`
+	Shed   int64   `json:"shed"`
 }
 
 // fleetz mirrors the subset of GET /v1/fleetz the dashboard renders.
@@ -235,6 +268,9 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 	var sz shardz
 	_, szErr := fetchJSON(client, base+"/v1/shardz", &sz, false)
 
+	var oz overloadz
+	_, ozErr := fetchJSON(client, base+"/v1/overloadz", &oz, false)
+
 	var fz fleetz
 	_, fzErr := fetchJSON(client, base+"/v1/fleetz", &fz, false)
 
@@ -328,6 +364,29 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 		}
 	}
 
+	fmt.Fprintln(out, "\nOverload (admission control)")
+	if ozErr != nil {
+		fmt.Fprintf(out, "  (unavailable: %v)\n", ozErr)
+	} else {
+		verdict := strings.ToUpper(oz.Verdict)
+		if oz.Verdict == "steady" {
+			verdict = oz.Verdict
+		}
+		fmt.Fprintf(out, "  occupancy=%.2f shed_ratio=%.3f signal=%.3f (%s)  queue_cap=%d x %d shards\n",
+			oz.Occupancy, oz.ShedRatio, oz.Signal, verdict, oz.QueueCap, oz.Shards)
+		for _, c := range oz.Classes {
+			fmt.Fprintf(out, "  %-10s %10d offered  %10d accepted  %8d shed  %8d dropped\n",
+				c.Class, c.Offered, c.Accepted, c.Shed, c.Dropped)
+		}
+		if oz.QuotaRate > 0 {
+			fmt.Fprintf(out, "  quota %.1f req/s (burst %.1f)  shed=%d\n",
+				oz.QuotaRate, oz.QuotaBurst, oz.QuotaShed)
+			for _, q := range oz.Quotas {
+				fmt.Fprintf(out, "    %-14s tokens=%6.2f  shed=%d\n", q.Game, q.Tokens, q.Shed)
+			}
+		}
+	}
+
 	fmt.Fprintln(out, "\nFleet telemetry")
 	switch {
 	case fzErr != nil:
@@ -404,7 +463,7 @@ func render(w io.Writer, client *http.Client, base string, traces int, clear boo
 
 	failed := 0
 	var firstErr error
-	for _, err := range []error{hzErr, metErr, szErr, fzErr, ezErr, tzErr} {
+	for _, err := range []error{hzErr, metErr, szErr, ozErr, fzErr, ezErr, tzErr} {
 		if err != nil {
 			failed++
 			if firstErr == nil {

@@ -48,6 +48,11 @@ func (s *SharedTable) Swaps() int64 { return s.s.Swaps() }
 // twice, or the retained table was already consumed by a rollback).
 func (s *SharedTable) Rollback() (int64, bool) { return s.s.Rollback() }
 
+// FleetDetailMax is the largest fleet that still reports per-device
+// results and per-device health rows; bigger runs report aggregates
+// only (at 100k devices the per-device JSON would dwarf the figures).
+const FleetDetailMax = fleet.PerDeviceDetailMax
+
 // FleetOptions configures a device-fleet serving run: N concurrent
 // simulated devices playing workload-generated sessions against one
 // SharedTable, optionally uploading their event logs to a cloud profiler
@@ -55,6 +60,11 @@ func (s *SharedTable) Rollback() (int64, bool) { return s.s.Rollback() }
 type FleetOptions struct {
 	// Game names the workload every device plays.
 	Game string
+	// Workload selects the behaviour-model preset ("" or "default" is
+	// plain human play; "eventcam" layers an event-camera-style
+	// high-rate motion sensor on top, multiplying the event rate 10–100×
+	// — the saturating input for overload runs).
+	Workload string
 	// Devices is the number of concurrent devices (default 1).
 	Devices int
 	// SessionsPerDevice is how many sessions each device plays
@@ -114,6 +124,32 @@ type FleetOptions struct {
 	// randomness and no wall-clock: enabling it leaves every
 	// deterministic run tally byte-identical.
 	Energy bool
+	// Workers sizes the fleet's shared scheduler pool (0 = 2×GOMAXPROCS
+	// capped at Devices). The scheduler plays every device on this fixed
+	// pool, so 100k-device runs fit on one box.
+	Workers int
+	// SpeedGrades assigns heterogeneous SoC speed grades cyclically by
+	// device index; a grade scales the device's energy-ledger CPU rates
+	// (0.5 = half-speed part, twice the µJ per instruction). Nil is a
+	// homogeneous fleet, byte-identical to builds without the knob.
+	SpeedGrades []float64
+	// Overload, when non-nil, opts the fleet into the client-side
+	// overload contract: 429s become retryable with Retry-After honored,
+	// each device carries a retry budget, and a terminally refused batch
+	// is counted shed (or dropped) instead of failing the device. The
+	// conservation identity OfferedBatches = Batches + BatchesShed +
+	// BatchesDropped then holds on every report.
+	Overload *OverloadOptions
+}
+
+// OverloadOptions tunes the client-side overload contract. Zero values
+// take the defaults (budget 8 tokens, 0.5 credited back per accepted
+// upload).
+type OverloadOptions struct {
+	// RetryBudget is each device's 429-retry token budget.
+	RetryBudget float64
+	// RefillPerSuccess is the budget credited back per accepted upload.
+	RefillPerSuccess float64
 }
 
 // ChaosOptions selects a fault-injection profile for a fleet run.
@@ -240,6 +276,15 @@ type FleetReport struct {
 
 	// Retries counts transport retries across every device's uploads.
 	Retries int `json:"retries"`
+	// Batch conservation ledger: OfferedBatches = Batches + BatchesShed
+	// + BatchesDropped on every run. Shed429 counts individual 429
+	// responses the fleet's clients absorbed; BackoffNS the simulated
+	// nanoseconds they spent backing off (virtual time — never slept).
+	OfferedBatches int   `json:"offered_batches"`
+	BatchesShed    int   `json:"batches_shed"`
+	BatchesDropped int   `json:"batches_dropped"`
+	Shed429        int64 `json:"shed_429"`
+	BackoffNS      int64 `json:"backoff_ns"`
 	// FailedDevices counts devices that died mid-run and were isolated
 	// (their partial tallies still count; the run itself never aborts).
 	FailedDevices int `json:"failed_devices"`
@@ -303,6 +348,7 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 	}
 	cfg := fleet.Config{
 		Game:                 o.Game,
+		Workload:             o.Workload,
 		Devices:              o.Devices,
 		SessionsPerDevice:    o.SessionsPerDevice,
 		SessionDuration:      units.Time(o.Duration / time.Microsecond),
@@ -312,6 +358,14 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		Refreshes:            o.Refreshes,
 		Obs:                  o.Metrics.Registry(),
 		Spans:                o.Metrics.SpanBuffer(),
+		Workers:              o.Workers,
+		SpeedGrades:          o.SpeedGrades,
+	}
+	if o.Overload != nil {
+		cfg.Overload = &fleet.OverloadConfig{
+			RetryBudget:      o.Overload.RetryBudget,
+			RefillPerSuccess: o.Overload.RefillPerSuccess,
+		}
 	}
 	if o.Table != nil {
 		cfg.Table = o.Table.s
@@ -384,6 +438,11 @@ func RunFleet(o FleetOptions) (*FleetReport, error) {
 		TableGeneration:  r.TableGeneration,
 		Rollbacks:        r.Rollbacks,
 		Retries:          r.Retries,
+		OfferedBatches:   r.OfferedBatches,
+		BatchesShed:      r.BatchesShed,
+		BatchesDropped:   r.BatchesDropped,
+		Shed429:          r.Shed429,
+		BackoffNS:        r.BackoffNS,
 		FailedDevices:    r.FailedDevices,
 		Health:           healthReport(r.Health),
 		Guard:            guardReport(r.Guard),

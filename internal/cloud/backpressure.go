@@ -1,0 +1,122 @@
+package cloud
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client-side half of the overload contract: when the cloud sheds with
+// 429 + Retry-After, a well-behaved device backs off for the advertised
+// horizon (plus jitter, so a synchronized fleet desynchronizes) and
+// bounds its persistence with a retry budget refilled by successes.
+// Without the budget, a fleet of devices all retrying shed batches is
+// itself the overload; with it, sustained shedding converges to each
+// device dropping its batch after a bounded number of attempts and
+// counting the loss honestly.
+
+// ErrShed marks an upload that the cloud deliberately shed (HTTP 429)
+// and the client gave up on — either the retry budget ran out or every
+// attempt was answered 429. Callers distinguish it from corruption or
+// network failure with errors.Is.
+var ErrShed = errors.New("shed by cloud admission control")
+
+// RetryBudget bounds a device's 429-driven retries SRE-style: a retry
+// consumes one token, a successful upload refills RefillPerSuccess
+// back (capped at the initial budget). A device that keeps succeeding
+// earns the right to ride out occasional sheds; one that is being
+// persistently shed runs dry and starts dropping instead of hammering.
+// Not safe for concurrent use — each device owns its budget and the
+// fleet scheduler runs one device on one worker at a time.
+type RetryBudget struct {
+	tokens float64
+	max    float64
+	refill float64
+}
+
+// NewRetryBudget returns a budget holding max tokens, crediting
+// refillPerSuccess per successful upload. max <= 0 defaults to 8,
+// refillPerSuccess < 0 defaults to 0.5.
+func NewRetryBudget(max, refillPerSuccess float64) *RetryBudget {
+	if max <= 0 {
+		max = 8
+	}
+	if refillPerSuccess < 0 {
+		refillPerSuccess = 0.5
+	}
+	return &RetryBudget{tokens: max, max: max, refill: refillPerSuccess}
+}
+
+// Allow consumes one token for a retry; false means the budget is
+// exhausted and the caller must stop retrying.
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Credit refills the budget after a successful upload.
+func (b *RetryBudget) Credit() {
+	if b == nil {
+		return
+	}
+	b.tokens += b.refill
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Tokens returns the remaining budget (for tests and tallies).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.tokens
+}
+
+// CallControl carries per-call backpressure state through the client's
+// retry loop. The Client is shared fleet-wide, so anything per-device —
+// the retry budget, the deterministic jitter stream, the sim-time sleep
+// — rides the call instead of the client. Nil fields fall back to the
+// process defaults (no budget, math/rand jitter, wall-clock sleep).
+type CallControl struct {
+	// Budget, when non-nil, gates 429 retries; exhaustion makes the call
+	// fail immediately with an ErrShed-wrapped error.
+	Budget *RetryBudget
+	// Sleep replaces time.Sleep for backoff waits. The fleet harness
+	// installs a sim-time hook that accumulates virtual nanoseconds, so
+	// a 100k-device overload run backs off deterministically without
+	// wall-clock stalls.
+	Sleep func(time.Duration)
+	// Jitter returns a uniform int64 in [0, n); nil uses the process
+	// RNG. A pre-split per-device source makes backoff deterministic.
+	Jitter func(n int64) int64
+}
+
+func (ctl *CallControl) sleep(d time.Duration) {
+	if ctl != nil && ctl.Sleep != nil {
+		ctl.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// retryAfterDelay parses a 429's Retry-After header (whole seconds, the
+// only form this service emits).
+func retryAfterDelay(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}

@@ -42,6 +42,7 @@ import (
 //	GET  /v1/fleetz                 fleet telemetry rollups (JSON)
 //	GET  /v1/energyz                fleet energy rollups (JSON)
 //	GET  /v1/shardz                 shard ownership/queue view (JSON)
+//	GET  /v1/overloadz              admission/overload ledger (JSON)
 //	GET  /debug/pprof/*             net/http/pprof profiles
 //
 // Requests carrying an X-Snip-Trace header (see obs.TraceHeader) are
@@ -57,6 +58,7 @@ type Service struct {
 	reg     *obs.Registry
 	met     *serviceMetrics
 	tel     *telemetryAggregator
+	adm     *admission
 	spans   *obs.SpanBuffer
 	started time.Time
 	log     *slog.Logger
@@ -117,7 +119,7 @@ type serviceMetrics struct {
 
 // endpoints the middleware tracks; fixed so every series exists from
 // the first scrape rather than appearing after first use.
-var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "update", "status", "metrics", "healthz", "tracez", "guard", "telemetry", "fleetz", "shardz", "energyz"}
+var endpointNames = []string{"upload", "upload-batch", "rebuild", "table", "update", "status", "metrics", "healthz", "tracez", "guard", "telemetry", "fleetz", "shardz", "energyz", "overloadz"}
 
 // ingestEndpoints are the ones whose error rate feeds the /v1/healthz
 // verdict — the data-path endpoints, not the introspection ones.
@@ -175,8 +177,34 @@ func NewService(cfg pfi.Config) *Service {
 // (GOMAXPROCS) is divided across shards. Shard count is fixed for the
 // service's lifetime. Call Close when done to stop the shard workers.
 func NewShardedService(cfg pfi.Config, shards int) *Service {
+	return NewServiceWithOptions(cfg, ServiceOptions{Shards: shards})
+}
+
+// ServiceOptions configures the serving stack beyond the PFI config:
+// the shard fan-out, each shard's ingest queue bound, and the per-game
+// bulk admission quota. Zero values take the defaults (1 shard,
+// DefaultShardQueueCap, unlimited quota).
+type ServiceOptions struct {
+	// Shards is the profiler replica count behind the rendezvous router.
+	Shards int
+	// QueueCap bounds each shard's ingest queue; a full queue sheds
+	// with 429 + Retry-After.
+	QueueCap int
+	// Quota gates bulk ingest per game with a token bucket (see
+	// QuotaConfig). The zero value admits everything.
+	Quota QuotaConfig
+}
+
+// NewServiceWithOptions builds the sharded service with explicit
+// overload-survival knobs. Call Close when done to stop the workers.
+func NewServiceWithOptions(cfg pfi.Config, opt ServiceOptions) *Service {
+	shards := opt.Shards
 	if shards < 1 {
 		shards = 1
+	}
+	queueCap := opt.QueueCap
+	if queueCap < 1 {
+		queueCap = DefaultShardQueueCap
 	}
 	reg := obs.NewRegistry()
 	cfg.Obs = reg // rebuild-time PFI searches surface in /v1/metrics
@@ -186,6 +214,7 @@ func NewShardedService(cfg pfi.Config, shards int) *Service {
 		reg:          reg,
 		met:          newServiceMetrics(reg),
 		tel:          newTelemetryAggregator(),
+		adm:          newAdmission(queueCap, opt.Quota, reg),
 		spans:        obs.NewSpanBuffer(obs.DefaultTracerCapacity),
 		started:      time.Now(),
 		deltaCap:     DefaultMaxDeltaChain,
@@ -193,7 +222,7 @@ func NewShardedService(cfg pfi.Config, shards int) *Service {
 	}
 	reg.Gauge("snip_cloud_shards", "shard replicas behind the router").Set(int64(shards))
 	for i := 0; i < shards; i++ {
-		sh := newShard(i, reg)
+		sh := newShard(i, queueCap, reg)
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go sh.run(&s.wg)
@@ -340,6 +369,14 @@ func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 		if sw.code >= 400 {
 			s.met.errors[endpoint].Inc()
 		}
+		// The overload ledger counts every tracked ingest request by its
+		// final status — one increment of offered plus exactly one
+		// outcome — so offered = accepted + shed + dropped holds by
+		// construction whether the shed came from admission, the queue
+		// backstop, or a handler error.
+		if pri, tracked := endpointClass[endpoint]; tracked {
+			s.adm.account(pri, sw.code)
+		}
 		if sc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok {
 			s.met.latencyNS[endpoint].ObserveExemplar(elapsed.Nanoseconds(), sc.Trace)
 			name := s.met.spanNames[endpoint]
@@ -376,6 +413,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/telemetry", s.instrument("telemetry", s.handleTelemetry))
 	mux.HandleFunc("GET /v1/fleetz", s.instrument("fleetz", s.handleFleetz))
 	mux.HandleFunc("GET /v1/energyz", s.instrument("energyz", s.handleEnergyz))
+	mux.HandleFunc("GET /v1/overloadz", s.instrument("overloadz", s.handleOverloadz))
 	// net/http/pprof, wired explicitly (the service never touches the
 	// DefaultServeMux): CPU/heap/goroutine/block profiles for debugging
 	// a live profiler under fleet load.
@@ -550,6 +588,9 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.admit(w, PriorityBulk, game) {
+		return
+	}
 	seed, err := strconv.ParseUint(r.URL.Query().Get("seed"), 10, 64)
 	if err != nil {
 		http.Error(w, "bad seed: "+err.Error(), http.StatusBadRequest)
@@ -579,7 +620,7 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if shed {
-		http.Error(w, "shard ingest queue full", http.StatusTooManyRequests)
+		writeShed(w, "shard ingest queue full", time.Second)
 		return
 	}
 	if err != nil {
@@ -600,6 +641,9 @@ func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 	game, ok := gameParam(w, r)
 	if !ok {
+		return
+	}
+	if !s.admit(w, PriorityBulk, game) {
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
@@ -660,7 +704,7 @@ func (s *Service) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if shed {
-		http.Error(w, "shard ingest queue full", http.StatusTooManyRequests)
+		writeShed(w, "shard ingest queue full", time.Second)
 		return
 	}
 	if err != nil {
@@ -682,6 +726,9 @@ func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.admit(w, PriorityBulk, game) {
+		return
+	}
 	p := s.profiler(game)
 	sh := s.shardFor(game)
 	var up *TableUpdate
@@ -691,7 +738,7 @@ func (s *Service) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if shed {
-		http.Error(w, "shard ingest queue full", http.StatusTooManyRequests)
+		writeShed(w, "shard ingest queue full", time.Second)
 		return
 	}
 	if err != nil {
@@ -823,7 +870,9 @@ const DefaultClientTimeout = 30 * time.Second
 // (network errors and 5xx responses). Backoff is exponential with full
 // jitter: attempt n sleeps uniform(0, min(MaxDelay, BaseDelay·2ⁿ⁻¹)].
 // 4xx responses never retry — they are the caller's bug, and retrying
-// them would just triple the error latency.
+// them would just triple the error latency — with one exception: 429
+// is the cloud shedding load, not a caller bug, and Retry429 opts into
+// treating it as retryable under the server's Retry-After guidance.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first.
 	// <= 1 disables retries.
@@ -839,6 +888,13 @@ type RetryPolicy struct {
 	// interact: the worst-case call latency is
 	// MaxAttempts·Timeout + backoff sleeps.
 	Timeout time.Duration
+	// Retry429 makes HTTP 429 a first-class retryable outcome: the
+	// client waits out the response's Retry-After (plus jitter, so a
+	// shed fleet desynchronizes) before trying again, and a per-call
+	// RetryBudget (see CallControl) bounds how long a device keeps
+	// trying. False — the default — keeps the legacy contract: a 429 is
+	// returned to the caller like any other 4xx.
+	Retry429 bool
 }
 
 // DefaultRetryPolicy is what NewClient installs: up to 3 tries with
@@ -856,6 +912,12 @@ func DefaultRetryPolicy() RetryPolicy {
 
 // backoff returns the sleep before retry attempt n (n >= 1).
 func (p RetryPolicy) backoff(attempt int) time.Duration {
+	return p.backoffWith(attempt, rand.Int64N)
+}
+
+// backoffWith is backoff with an injectable jitter source, so a
+// per-device pre-split RNG makes the fleet's backoff deterministic.
+func (p RetryPolicy) backoffWith(attempt int, jitter func(int64) int64) time.Duration {
 	d := p.BaseDelay << (attempt - 1)
 	if p.MaxDelay > 0 && (d > p.MaxDelay || d <= 0) {
 		d = p.MaxDelay
@@ -863,7 +925,7 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 	if d <= 0 {
 		return 0
 	}
-	return time.Duration(rand.Int64N(int64(d))) + 1
+	return time.Duration(jitter(int64(d))) + 1
 }
 
 // Client is the device-side counterpart: upload logs (singly or in
@@ -878,8 +940,11 @@ type Client struct {
 	// timeout (see RetryPolicy).
 	Retry RetryPolicy
 
-	// retries counts retry attempts when metrics are attached.
+	// retries counts retry attempts when metrics are attached; shed
+	// counts 429 responses — kept apart from transport failures so shed
+	// load is never misread as corruption or a flaky network.
 	retries *obs.Counter
+	shed    *obs.Counter
 	// log, when attached, records every retry attempt and final
 	// give-up with the upload's trace ID.
 	log *slog.Logger
@@ -904,10 +969,13 @@ func NewClient(baseURL string) *Client {
 }
 
 // SetMetrics attaches an observability registry; the client then counts
-// retry attempts in snip_cloud_client_retries_total. Nil detaches.
+// retry attempts in snip_cloud_client_retries_total and 429 sheds in
+// snip_cloud_client_shed_total. Nil detaches.
 func (c *Client) SetMetrics(reg *obs.Registry) {
 	c.retries = reg.Counter("snip_cloud_client_retries_total",
 		"client requests retried after a transient failure")
+	c.shed = reg.Counter("snip_cloud_client_shed_total",
+		"client requests answered 429: load the cloud deliberately shed")
 }
 
 // SetLogger attaches a structured logger; the client then logs every
@@ -945,12 +1013,29 @@ func (b *cancelBody) Close() error {
 // is propagated in the X-Snip-Trace header, linking the server-side
 // ingest span into the caller's trace, and stamps the retry log lines.
 func (c *Client) do(method, u, contentType string, body []byte, sc obs.SpanContext) (*http.Response, int, error) {
+	resp, retries, _, err := c.doCtl(method, u, contentType, body, sc, nil)
+	return resp, retries, err
+}
+
+// doCtl is do with per-call backpressure control and shed accounting:
+// it additionally reports how many attempts were answered 429. With
+// Retry429 set on the policy, a 429 waits out the server's Retry-After
+// plus jitter (a missing header falls back to the policy backoff)
+// before retrying, gated by ctl's RetryBudget; exhausting the budget or
+// the attempts on sheds fails the call with an ErrShed-wrapped error.
+func (c *Client) doCtl(method, u, contentType string, body []byte, sc obs.SpanContext, ctl *CallControl) (*http.Response, int, int, error) {
 	pol := c.Retry
 	if pol.MaxAttempts <= 0 {
 		pol.MaxAttempts = 1
 	}
+	jitter := rand.Int64N
+	if ctl != nil && ctl.Jitter != nil {
+		jitter = ctl.Jitter
+	}
 	var lastErr error
-	retries := 0
+	var sleepFor time.Duration
+	retries, shed := 0, 0
+	lastShed := false
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			retries++
@@ -960,7 +1045,7 @@ func (c *Client) do(method, u, contentType string, body []byte, sc obs.SpanConte
 					"attempt", attempt+1, "max_attempts", pol.MaxAttempts,
 					"url", u, "trace_id", sc.Trace.String(), "err", lastErr)
 			}
-			time.Sleep(pol.backoff(attempt))
+			ctl.sleep(sleepFor)
 		}
 		ctx, cancel := context.Background(), context.CancelFunc(func() {})
 		if pol.Timeout > 0 {
@@ -973,7 +1058,7 @@ func (c *Client) do(method, u, contentType string, body []byte, sc obs.SpanConte
 		req, err := http.NewRequestWithContext(ctx, method, u, rd)
 		if err != nil {
 			cancel()
-			return nil, retries, err
+			return nil, retries, shed, err
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
@@ -985,24 +1070,63 @@ func (c *Client) do(method, u, contentType string, body []byte, sc obs.SpanConte
 		if err != nil {
 			cancel()
 			lastErr = err // transport error (incl. timeout): transient, retry
+			lastShed = false
+			sleepFor = pol.backoffWith(attempt+1, jitter)
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed++
+			c.shed.Inc()
+			if !pol.Retry429 {
+				// Legacy contract: the 429 is the caller's to handle,
+				// counted but not retried.
+				resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+				return resp, retries, shed, nil
+			}
+			ra, hasRA := retryAfterDelay(resp)
+			lastErr = errFromResponse(resp)
+			resp.Body.Close()
+			cancel()
+			lastShed = true
+			if ctl != nil && ctl.Budget != nil && !ctl.Budget.Allow() {
+				err := fmt.Errorf("cloud: retry budget exhausted after %d sheds: %v: %w", shed, lastErr, ErrShed)
+				if c.log != nil {
+					c.log.Error("cloud client dropping shed upload",
+						"sheds", shed, "url", u,
+						"trace_id", sc.Trace.String(), "err", lastErr)
+				}
+				return nil, retries, shed, err
+			}
+			if hasRA {
+				// Honor the server's horizon, jittered upward by as much
+				// as half again so a fleet shed together retries spread.
+				sleepFor = ra + time.Duration(jitter(int64(ra)/2+1))
+			} else {
+				sleepFor = pol.backoffWith(attempt+1, jitter)
+			}
 			continue
 		}
 		if resp.StatusCode >= 500 {
 			lastErr = errFromResponse(resp)
 			resp.Body.Close()
 			cancel()
+			lastShed = false
+			sleepFor = pol.backoffWith(attempt+1, jitter)
 			continue
 		}
 		resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
-		return resp, retries, nil
+		return resp, retries, shed, nil
 	}
 	err := fmt.Errorf("cloud: giving up after %d attempts: %w", pol.MaxAttempts, lastErr)
+	if lastShed {
+		err = fmt.Errorf("cloud: giving up after %d attempts: %v: %w", pol.MaxAttempts, lastErr, ErrShed)
+	}
 	if c.log != nil {
 		c.log.Error("cloud client giving up",
 			"attempts", pol.MaxAttempts, "url", u,
 			"trace_id", sc.Trace.String(), "err", lastErr)
 	}
-	return nil, retries, err
+	return nil, retries, shed, err
 }
 
 // Upload sends an events-only log for a session seed.
@@ -1037,6 +1161,10 @@ type BatchResult struct {
 	// Retries is how many transient-failure retries the upload needed
 	// (reported even when the call ultimately failed).
 	Retries int
+	// Shed is how many attempts the cloud answered 429 — deliberate
+	// load shedding, reported apart from Retries so overload is never
+	// misread as corruption or network failure.
+	Shed int
 }
 
 // UploadBatch sends many sessions in one gzip'd request — the fleet's
@@ -1050,17 +1178,33 @@ func (c *Client) UploadBatch(game string, sessions []trace.SessionEvents) (units
 // and per-call retry accounting (the fleet's per-device health tallies
 // feed on the latter).
 func (c *Client) UploadBatchTraced(game string, sessions []trace.SessionEvents, sc obs.SpanContext) (BatchResult, error) {
+	return c.UploadBatchControlled(game, sessions, sc, nil)
+}
+
+// UploadBatchControlled is UploadBatchTraced with per-call backpressure
+// control: ctl carries the device's retry budget, sim-time sleep and
+// deterministic jitter through the retry loop (see CallControl; nil is
+// fine). A successful upload credits the budget; a terminal shed fails
+// with an ErrShed-wrapped error the fleet ledger counts apart from
+// genuine failures.
+func (c *Client) UploadBatchControlled(game string, sessions []trace.SessionEvents, sc obs.SpanContext, ctl *CallControl) (BatchResult, error) {
 	var buf bytes.Buffer
 	if err := trace.EncodeBatch(&buf, &trace.SessionBatch{Game: game, Sessions: sessions}); err != nil {
 		return BatchResult{}, err
 	}
 	u := c.endpoint("/v1/upload-batch", url.Values{"game": {game}})
-	resp, retries, err := c.do(http.MethodPost, u, "application/octet-stream", buf.Bytes(), sc)
+	resp, retries, shed, err := c.doCtl(http.MethodPost, u, "application/octet-stream", buf.Bytes(), sc, ctl)
 	if err != nil {
-		return BatchResult{Retries: retries}, err
+		return BatchResult{Retries: retries, Shed: shed}, err
 	}
 	defer resp.Body.Close()
-	return BatchResult{Wire: units.Size(buf.Len()), Retries: retries}, errFromResponse(resp)
+	if err := errFromResponse(resp); err != nil {
+		return BatchResult{Retries: retries, Shed: shed}, err
+	}
+	if ctl != nil && ctl.Budget != nil {
+		ctl.Budget.Credit()
+	}
+	return BatchResult{Wire: units.Size(buf.Len()), Retries: retries, Shed: shed}, nil
 }
 
 // Rebuild asks the cloud to retrain and build a fresh table.

@@ -31,10 +31,12 @@ import (
 // game. Unlike modulo placement, growing the shard count only moves the
 // games whose new shard actually wins — there is no global reshuffle.
 
-// ShardQueueCap bounds each shard's ingest queue. A full queue sheds
-// load (HTTP 429) instead of queueing unboundedly — the device retries,
-// the shard stays bounded.
-const ShardQueueCap = 64
+// DefaultShardQueueCap bounds each shard's ingest queue unless the
+// service is built with an explicit cap (ServiceOptions.QueueCap,
+// profilerd/fleetbench -shard-queue-cap). A full queue sheds load
+// (HTTP 429 + Retry-After) instead of queueing unboundedly — the
+// device backs off, the shard stays bounded.
+const DefaultShardQueueCap = 64
 
 // ShardFor returns the shard owning a game under rendezvous hashing
 // over the given shard count. Deterministic in (game, shards); every
@@ -84,18 +86,23 @@ type shardMetrics struct {
 // the shared handler pool.
 type shard struct {
 	id        int
+	cap       int
 	mu        sync.Mutex
 	profilers map[string]*Profiler
 	queue     chan ingestJob
 	met       shardMetrics
 }
 
-func newShard(id int, reg *obs.Registry) *shard {
+func newShard(id, queueCap int, reg *obs.Registry) *shard {
+	if queueCap < 1 {
+		queueCap = DefaultShardQueueCap
+	}
 	l := `{shard="` + strconv.Itoa(id) + `"}`
 	return &shard{
 		id:        id,
+		cap:       queueCap,
 		profilers: make(map[string]*Profiler),
-		queue:     make(chan ingestJob, ShardQueueCap),
+		queue:     make(chan ingestJob, queueCap),
 		met: shardMetrics{
 			batches:    reg.Counter(`snip_cloud_shard_batches_total`+l, "batch uploads ingested by this shard"),
 			sessions:   reg.Counter(`snip_cloud_shard_sessions_total`+l, "sessions ingested by this shard"),
@@ -199,7 +206,7 @@ func (s *Service) Shardz() shardzReply {
 			IngestRecords:  sh.met.records.Value(),
 			Rebuilds:       sh.met.rebuilds.Value(),
 			QueueDepth:     sh.met.queueDepth.Value(),
-			QueueCap:       ShardQueueCap,
+			QueueCap:       sh.cap,
 			QueueShed:      sh.met.queueShed.Value(),
 			OTADeltaServed: sh.met.otaDelta.Value(),
 			OTAFullServed:  sh.met.otaFull.Value(),

@@ -249,8 +249,8 @@ func TestFetchUpdateFallsBackOnBaseMismatch(t *testing.T) {
 // TestShardQueueSheds pins the bounded-queue contract directly: with no
 // worker draining, cap+1 enqueues shed the last one and count it.
 func TestShardQueueSheds(t *testing.T) {
-	sh := newShard(0, obs.NewRegistry())
-	for i := 0; i < ShardQueueCap; i++ {
+	sh := newShard(0, DefaultShardQueueCap, obs.NewRegistry())
+	for i := 0; i < DefaultShardQueueCap; i++ {
 		sh.queue <- ingestJob{run: func() error { return nil }, done: make(chan error, 1)}
 	}
 	_, shed := sh.enqueue(func() error { return nil })
@@ -303,7 +303,7 @@ func TestShardzEndpoint(t *testing.T) {
 	var sessions, fullServed int64
 	seen := make(map[string]int)
 	for _, row := range reply.PerShard {
-		if row.QueueCap != ShardQueueCap {
+		if row.QueueCap != DefaultShardQueueCap {
 			t.Fatalf("row %d queue cap %d", row.Shard, row.QueueCap)
 		}
 		sessions += row.IngestSessions

@@ -424,6 +424,9 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.admit(w, PriorityTelemetry, game) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxTelemetryBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError

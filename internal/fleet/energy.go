@@ -77,12 +77,19 @@ type EnergyReport struct {
 	BatteryHours float64 `json:"battery_hours"`
 }
 
-// fleetRates derives the ledger's charge rates from the same SoC
-// calibration the schemes simulation runs on, so fleet µJ and schemes µJ
-// share one power model.
-func fleetRates() energy.Rates {
+// speedRates derives the ledger's charge rates from the same SoC
+// calibration the schemes simulation runs on — so fleet µJ and schemes
+// µJ share one power model — scaled by a device's speed grade: a
+// grade-g part clocks at g× the reference frequency, so at the same
+// draw it spends 1/g× the µJ per instruction (energy.NewRates divides
+// draw by freq×IPC). Grade 1 is the exact reference — same float math,
+// byte-identical ledgers.
+func speedRates(grade float64) energy.Rates {
+	if grade <= 0 {
+		grade = 1
+	}
 	c := soc.DefaultConfig()
-	return energy.NewRates(c.CPUFreqMHz, c.IPC, c.MemBytesPerMicro, nil)
+	return energy.NewRates(c.CPUFreqMHz*grade, c.IPC, c.MemBytesPerMicro, nil)
 }
 
 // intervalEnergy is one generation's folded energy slice for the session
@@ -121,13 +128,13 @@ type energyTally struct {
 	devTotalUJ float64
 }
 
-func newEnergyTally(co *coordinator) *energyTally {
+func newEnergyTally(co *coordinator, grade float64) *energyTally {
 	if co.cfg.Energy == nil {
 		return nil
 	}
 	return &energyTally{
 		co:       co,
-		rates:    fleetRates(),
+		rates:    speedRates(grade),
 		gens:     make(map[int64]*energy.Ledger),
 		interval: make(map[int64]intervalEnergy),
 	}

@@ -25,6 +25,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -36,7 +37,6 @@ import (
 	"snip/internal/cloud"
 	"snip/internal/energy"
 	"snip/internal/events"
-	"snip/internal/games"
 	"snip/internal/memo"
 	"snip/internal/obs"
 	"snip/internal/rng"
@@ -50,6 +50,11 @@ import (
 type Config struct {
 	// Game names the workload every device plays.
 	Game string
+	// Workload selects the behaviour-model preset every device's
+	// generator runs under (workload.ForWorkload). Empty is the default
+	// human-play model; "eventcam" layers the event-camera-style
+	// high-rate motion sensor on top of it.
+	Workload string
 	// Devices is the number of concurrent simulated devices.
 	Devices int
 	// SessionsPerDevice is how many sessions each device plays.
@@ -124,6 +129,22 @@ type Config struct {
 	// randomness and reads no wall-clock, so enabling it leaves every
 	// deterministic run tally byte-identical.
 	Energy *EnergyConfig
+
+	// Workers sizes the shared scheduler's worker pool (see
+	// scheduler.go). <= 0 picks 2×GOMAXPROCS, capped at Devices.
+	Workers int
+	// SpeedGrades assigns heterogeneous SoC speed grades: device d runs
+	// at SpeedGrades[d % len], scaling its energy ledger's CPU rates (a
+	// 0.5-grade part spends twice the µJ per instruction). Nil or empty
+	// is the homogeneous fleet — byte-identical to builds without the
+	// knob.
+	SpeedGrades []float64
+	// Overload, when non-nil, opts the fleet into the client-side
+	// overload contract (429 retry with Retry-After, per-device retry
+	// budgets, shed/dropped batch accounting — see OverloadConfig). Nil
+	// keeps the legacy behaviour: a terminal upload error fails the
+	// device.
+	Overload *OverloadConfig
 }
 
 func (c Config) validate() error {
@@ -213,6 +234,18 @@ type DeviceResult struct {
 	SavedInstr int64 `json:"saved_instr"`
 	// Retries counts transport retries across the device's uploads.
 	Retries int `json:"retries"`
+	// Batch conservation ledger: every flush of pending sessions is
+	// offered exactly once and ends as accepted (Batches), shed (the
+	// cloud answered 429 to the end) or dropped (any other terminal
+	// failure), so OfferedBatches = Batches + BatchesShed +
+	// BatchesDropped always holds. Shed429 counts the individual 429
+	// responses behind those outcomes.
+	OfferedBatches int   `json:"offered_batches,omitempty"`
+	BatchesShed    int   `json:"batches_shed,omitempty"`
+	BatchesDropped int   `json:"batches_dropped,omitempty"`
+	Shed429        int64 `json:"shed_429,omitempty"`
+	// SpeedGrade is the device's SoC speed grade (0 when homogeneous).
+	SpeedGrade float64 `json:"speed_grade,omitempty"`
 	// Telemetry accounting (zero when the pipeline is disabled):
 	// records folded, batches/bytes shipped, records lost to failed
 	// best-effort uploads.
@@ -285,9 +318,26 @@ type Result struct {
 	// Retries counts transport retries across every device's uploads.
 	Retries int `json:"retries"`
 
+	// SavedInstr sums every device's short-circuited instruction weight
+	// — aggregated here so compact mega-fleet runs (PerDevice omitted
+	// past PerDeviceDetailMax) still carry the energy proxy.
+	SavedInstr int64 `json:"saved_instr"`
+
+	// Fleet-wide batch conservation ledger (see DeviceResult):
+	// OfferedBatches = Batches + BatchesShed + BatchesDropped.
+	OfferedBatches int   `json:"offered_batches"`
+	BatchesShed    int   `json:"batches_shed"`
+	BatchesDropped int   `json:"batches_dropped"`
+	Shed429        int64 `json:"shed_429"`
+	// BackoffNS is the simulated (virtual) nanoseconds the fleet spent
+	// backing off shed uploads — accumulated, never slept.
+	BackoffNS int64 `json:"backoff_ns"`
+
 	// FailedDevices counts devices that died mid-run and were isolated.
 	FailedDevices int `json:"failed_devices"`
 
+	// PerDevice holds each device's tallies for fleets up to
+	// PerDeviceDetailMax devices; larger runs report aggregates only.
 	PerDevice []DeviceResult `json:"per_device,omitempty"`
 
 	// Guard reports the mispredict guard (nil when disabled); Chaos the
@@ -360,6 +410,11 @@ type coordinator struct {
 	uploaded atomic.Int64 // sessions confirmed ingested by the cloud
 	rounds   atomic.Int64 // OTA refresh rounds claimed
 	guard    *guard       // nil when the mispredict guard is disabled
+
+	// backoffNS accumulates the fleet's simulated backoff time under the
+	// overload contract: CallControl.Sleep adds here instead of sleeping,
+	// so shed retries cost virtual time, never harness wall-clock.
+	backoffNS atomic.Int64
 
 	// refreshMu serializes the execution of claimed OTA rounds. Claims
 	// are lock-free (the CAS on rounds), but two in-flight rounds must
@@ -470,18 +525,20 @@ func (co *coordinator) maybeRefresh() error {
 	return nil
 }
 
-// device plays one device's sessions and returns its tallies.
-func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *latHist, error) {
+// device plays one device's sessions into res and hist (supplied by the
+// scheduler: a fresh pair in detail mode, the worker's shared hist for
+// compact mega-fleets) using the worker's pooled game instance.
+func (co *coordinator) device(id int, gen workload.Generator, ws *workerState, hist *latHist) (DeviceResult, error) {
 	cfg := co.cfg
 	res := DeviceResult{Device: id}
-	hist := &latHist{}
 
-	game, err := games.New(cfg.Game)
-	if err != nil {
-		return res, hist, err
+	grade := cfg.speedGrade(id)
+	if len(cfg.SpeedGrades) > 0 {
+		res.SpeedGrade = grade
 	}
-	en := newEnergyTally(co)
+	en := newEnergyTally(co, grade)
 	tel := newDeviceTelemetry(co, id, en)
+	ctl := co.callControl(id)
 
 	var pending []trace.SessionEvents
 	flush := func() error {
@@ -492,14 +549,33 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		// rides X-Snip-Trace so the cloud's ingest span parents onto the
 		// upload span recorded here.
 		sc := co.sessionCtx(pending[0].Seed)
+		res.OfferedBatches++
 		uploadStart := time.Now()
-		br, err := cfg.Client.UploadBatchTraced(cfg.Game, pending, sc)
+		br, err := cfg.Client.UploadBatchControlled(cfg.Game, pending, sc, ctl)
 		res.Retries += br.Retries
+		res.Shed429 += int64(br.Shed)
 		sp := obs.StartSpan(sc.Child(obs.HashName("upload.batch")), sc.Span, "upload.batch", 0)
 		sp.Service = "device"
 		sp.Err = err != nil
 		cfg.Spans.FinishWall(&sp, time.Since(uploadStart).Nanoseconds())
 		if err != nil {
+			if cfg.Overload != nil {
+				// Overload contract: the batch is consumed, not fatal. A
+				// terminal 429 chain books it shed (the cloud chose to
+				// refuse it); anything else books it dropped. Either way
+				// the device clears pending and keeps playing — exactly
+				// what a real client does when the cloud is protecting
+				// itself.
+				if errors.Is(err, cloud.ErrShed) {
+					res.BatchesShed++
+				} else {
+					res.BatchesDropped++
+				}
+				pending = pending[:0]
+				tel.flush(&res, false)
+				return nil
+			}
+			res.BatchesDropped++
 			return fmt.Errorf("fleet: device %d upload: %w", id, err)
 		}
 		res.Batches++
@@ -533,12 +609,12 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 			time.Sleep(stall)
 		}
 		if crash {
-			return res, hist, fmt.Errorf("fleet: device %d session %d: %w", id, s, chaos.ErrDeviceCrash)
+			return res, fmt.Errorf("fleet: device %d session %d: %w", id, s, chaos.ErrDeviceCrash)
 		}
 		seed := cfg.SeedBase + uint64(id*cfg.SessionsPerDevice+s)
-		log, err := co.session(game, gen, seed, &res, hist, tel, en)
+		log, err := co.session(ws, gen, seed, &res, hist, tel, en)
 		if err != nil {
-			return res, hist, err
+			return res, err
 		}
 		res.Sessions++
 		co.met.sessions.Inc()
@@ -551,24 +627,25 @@ func (co *coordinator) device(id int, gen workload.Generator) (DeviceResult, *la
 		tel.fold(s, &res, len(pending), batch)
 		if len(pending) >= batch {
 			if err := flush(); err != nil {
-				return res, hist, err
+				return res, err
 			}
 		}
 	}
-	err = flush()
+	err := flush()
 	// Forced final flush: ship whatever telemetry remains even when the
 	// last upload failed — drops are counted, never silent.
 	tel.flush(&res, true)
-	return res, hist, err
+	return res, err
 }
 
 // session plays one seed on the device's game instance: every delivered
 // event loads the current shared-table snapshot, probes it, and either
 // short-circuits (ApplyOutputs) or executes the handler — the same
 // decision the SNIP scheme makes, minus the energy simulation.
-func (co *coordinator) session(game games.Game, gen workload.Generator, seed uint64,
+func (co *coordinator) session(ws *workerState, gen workload.Generator, seed uint64,
 	res *DeviceResult, hist *latHist, tel *deviceTelemetry, en *energyTally) (*trace.EventLog, error) {
 	cfg := co.cfg
+	game, handled := ws.game, ws.handled
 	sc := co.sessionCtx(seed)
 	sessionStart := time.Now()
 	game.Reset(seed)
@@ -592,10 +669,6 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 	var log *trace.EventLog
 	if cfg.Client != nil {
 		log = &trace.EventLog{Game: cfg.Game}
-	}
-	handled := make(map[events.Type]bool)
-	for _, t := range game.Types() {
-		handled[t] = true
 	}
 	// The guard's sampling stream is split off the session seed — private
 	// to this session, deterministic, and never created when the guard is
@@ -685,16 +758,24 @@ func (co *coordinator) session(game games.Game, gen workload.Generator, seed uin
 	return log, nil
 }
 
-// Run executes a fleet run: Devices goroutines, each playing
-// SessionsPerDevice sessions against the shared table, uploading in
-// batches, with at most one live OTA refresh mid-run.
+// Run executes a fleet run: a shared scheduler (see scheduler.go) plays
+// every device's SessionsPerDevice sessions against the shared table on
+// a fixed worker pool, uploading in batches, with live OTA refreshes
+// mid-run. Fleets past PerDeviceDetailMax devices report aggregates
+// only (no per-device results or health rows).
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	gen, err := workload.ForGame(cfg.Game)
+	gen, err := workload.ForWorkload(cfg.Game, cfg.Workload)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Overload != nil && cfg.Client != nil {
+		// The overload contract needs the shared client to treat 429 as
+		// retryable; everything per-device (budget, jitter, sim-time
+		// sleep) rides the CallControl instead.
+		cfg.Client.Retry.Retry429 = true
 	}
 	co := &coordinator{
 		cfg:   cfg,
@@ -704,19 +785,46 @@ func Run(cfg Config) (*Result, error) {
 	}
 	cfg.Chaos.SetMetrics(cfg.Obs)
 
+	workers := workerCount(cfg)
+	states := make([]*workerState, workers)
+	for w := range states {
+		if states[w], err = newWorkerState(cfg.Game); err != nil {
+			return nil, err
+		}
+	}
+	detail := cfg.Devices <= PerDeviceDetailMax
+	results := make([]DeviceResult, cfg.Devices)
+	errs := make([]error, cfg.Devices)
+	var hists []*latHist // per device, detail mode only
+	if detail {
+		hists = make([]*latHist, cfg.Devices)
+	}
+	workerHists := make([]*latHist, workers)
+
 	swapsBefore := cfg.Table.Swaps()
 	rollbacksBefore := cfg.Table.Rollbacks()
 	start := time.Now()
-	results := make([]DeviceResult, cfg.Devices)
-	hists := make([]*latHist, cfg.Devices)
-	errs := make([]error, cfg.Devices)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for d := 0; d < cfg.Devices; d++ {
+	for w := 0; w < workers; w++ {
+		wh := &latHist{}
+		workerHists[w] = wh
 		wg.Add(1)
-		go func(d int) {
+		go func(ws *workerState) {
 			defer wg.Done()
-			results[d], hists[d], errs[d] = co.device(d, gen)
-		}(d)
+			for {
+				d := int(next.Add(1)) - 1
+				if d >= cfg.Devices {
+					return
+				}
+				hist := wh
+				if detail {
+					hist = &latHist{}
+					hists[d] = hist
+				}
+				results[d], errs[d] = co.device(d, gen, ws, hist)
+			}
+		}(states[w])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -739,7 +847,6 @@ func Run(cfg Config) (*Result, error) {
 		TableGeneration: cfg.Table.Generation(),
 		Rollbacks:       cfg.Table.Rollbacks() - rollbacksBefore,
 		FailedDevices:   failed,
-		PerDevice:       results,
 		Guard:           co.guard.snapshot(),
 
 		OTAUpdates:       co.ota.updates,
@@ -761,9 +868,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Energy != nil {
 		res.Energy = &EnergyReport{}
 	}
+	if detail {
+		res.PerDevice = results
+	}
 	merged := &latHist{}
 	for d := range results {
-		results[d].P99LookupNS = hists[d].quantile(0.99)
+		if detail {
+			results[d].P99LookupNS = hists[d].quantile(0.99)
+			merged.merge(hists[d])
+		}
 		dr := results[d]
 		res.Sessions += dr.Sessions
 		res.Events += dr.Events
@@ -772,6 +885,11 @@ func Run(cfg Config) (*Result, error) {
 		res.UploadBytes += dr.UploadBytes
 		res.RawBytes += dr.RawBytes
 		res.Retries += dr.Retries
+		res.SavedInstr += dr.SavedInstr
+		res.OfferedBatches += dr.OfferedBatches
+		res.BatchesShed += dr.BatchesShed
+		res.BatchesDropped += dr.BatchesDropped
+		res.Shed429 += dr.Shed429
 		if res.Telemetry != nil {
 			res.Telemetry.Records += dr.TelemetryRecords
 			res.Telemetry.Batches += dr.TelemetryBatches
@@ -781,8 +899,13 @@ func Run(cfg Config) (*Result, error) {
 		if res.Energy != nil && dr.Energy != nil {
 			res.Energy.add(dr.Energy)
 		}
-		merged.merge(hists[d])
 	}
+	if !detail {
+		for _, wh := range workerHists {
+			merged.merge(wh)
+		}
+	}
+	res.BackoffNS = co.backoffNS.Load()
 	if res.Energy != nil {
 		res.Energy.ElapsedUS = int64(res.Sessions) * int64(cfg.SessionDuration)
 		if res.Events > 0 {

@@ -101,7 +101,7 @@ type HealthSnapshot struct {
 func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
 	h := &HealthSnapshot{
 		Healthy:     true,
-		SavedInstr:  0,
+		SavedInstr:  res.SavedInstr,
 		P99LookupNS: res.P99LookupNS,
 		Retries:     res.Retries,
 	}
@@ -111,6 +111,13 @@ func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
 	if res.Batches > 0 {
 		h.RetriesPerBatch = float64(res.Retries) / float64(res.Batches)
 	}
+	if res.Energy != nil {
+		h.EnergyUJ = res.Energy.TotalUJ
+		h.SavedEnergyUJ = res.Energy.SavedUJ
+	}
+	// Per-device rows exist only for fleets small enough to retain
+	// per-device detail (<= PerDeviceDetailMax); the fleet-wide verdicts
+	// above come from aggregates either way.
 	for _, dr := range res.PerDevice {
 		dh := DeviceHealth{
 			Device:      dr.Device,
@@ -126,9 +133,6 @@ func buildHealth(slo SLOConfig, res *Result) *HealthSnapshot {
 			dh.EnergyUJ = dr.Energy.TotalUJ
 			dh.SavedEnergyUJ = dr.Energy.SavedUJ
 		}
-		h.SavedInstr += dr.SavedInstr
-		h.EnergyUJ += dh.EnergyUJ
-		h.SavedEnergyUJ += dh.SavedEnergyUJ
 		h.Devices = append(h.Devices, dh)
 	}
 

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+
+	"snip/internal/sensors"
+	"snip/internal/units"
+)
+
+// Workload presets select how hard the sensor hub drives a game's
+// behaviour model. The default preset is the paper's human play;
+// "eventcam" layers an event-camera-style high-rate motion sensor on
+// top of it.
+const (
+	// PresetDefault is the plain behaviour model from ForGame.
+	PresetDefault = "default"
+	// PresetEventCam overlays a dense asynchronous motion stream —
+	// event-camera-class sensors report per-pixel brightness changes at
+	// kilohertz rates, which reaches the event layer as gyro samples
+	// arriving 10–100× faster than human play generates them. The
+	// overlay oscillates tightly around one orientation, so most of the
+	// extra Tilt events quantize to a handful of values: exactly the
+	// redundant high-rate traffic SNIP's table is supposed to absorb,
+	// and the overload harness uses to saturate ingest.
+	PresetEventCam = "eventcam"
+)
+
+// Presets lists the selectable workload presets.
+func Presets() []string { return []string{PresetDefault, PresetEventCam} }
+
+// ForWorkload returns the generator for a (game, preset) pair. An empty
+// preset means PresetDefault.
+func ForWorkload(game, preset string) (Generator, error) {
+	base, err := ForGame(game)
+	if err != nil {
+		return nil, err
+	}
+	switch preset {
+	case "", PresetDefault:
+		return base, nil
+	case PresetEventCam:
+		return eventCamUser{base: base}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown preset %q (have %v)", preset, Presets())
+}
+
+// eventCamSeedSalt splits the overlay's RNG stream off the session seed
+// so layering the sensor never perturbs the base model's randomness.
+const eventCamSeedSalt = 0x4556434D53454E53 // "EVCMSENS"
+
+// eventCamPeriod is the overlay's mean inter-sample gap: ~500 Hz,
+// roughly 30× the densest human gyro cadence in users.go.
+const eventCamPeriod = 2 * units.Millisecond
+
+// eventCamUser wraps a behaviour model with the high-rate motion
+// overlay. The generated stream is the base session's readings plus the
+// overlay's, merged in time order.
+type eventCamUser struct {
+	base Generator
+}
+
+func (u eventCamUser) Game() string { return u.base.Game() }
+
+func (u eventCamUser) Generate(seed uint64, duration units.Time) *sensors.Stream {
+	baseStream := u.base.Generate(seed, duration)
+	b := newBuilder(seed^eventCamSeedSalt, duration)
+	// The device rests near a fixed orientation; the sensor sees it
+	// tremble across one tilt-quantum boundary (the synthesizer's grid is
+	// 20 tenths of a degree). A slow triangle sweep of ±25 tenths plus
+	// per-sample tremor makes consecutive samples quantize to 2–3
+	// adjacent buckets — a dense stream of near-duplicate Tilt events.
+	baseAlpha := int64(100 + b.r.Intn(200))
+	baseBeta := int64(-50 + b.r.Intn(100))
+	const sweep = 25
+	phase := 0
+	for !b.done() {
+		// Triangle wave over 64 samples: 0..sweep..0..-sweep..0.
+		tri := int64(phase % 64)
+		switch {
+		case tri < 16:
+			tri = tri * sweep / 16
+		case tri < 48:
+			tri = sweep - (tri-16)*sweep/16
+		default:
+			tri = (tri-48)*sweep/16 - sweep
+		}
+		phase++
+		b.gyro(baseAlpha+tri, baseBeta, 0, 4)
+		b.wait(eventCamPeriod)
+	}
+	return mergeStreams(baseStream, b.buf)
+}
+
+// mergeStreams interleaves a finished base stream with overlay readings
+// by time, stably (base first at equal timestamps).
+func mergeStreams(base *sensors.Stream, overlay []sensors.Reading) *sensors.Stream {
+	all := make([]sensors.Reading, 0, base.Len()+len(overlay))
+	all = append(all, base.All()...)
+	all = append(all, overlay...)
+	b := &builder{buf: all}
+	return b.finish()
+}

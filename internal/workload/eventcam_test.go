@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"snip/internal/events"
+	"snip/internal/sensors"
+	"snip/internal/units"
+)
+
+func TestForWorkloadPresets(t *testing.T) {
+	if g, err := ForWorkload("ChaseWhisply", ""); err != nil || g.Game() != "ChaseWhisply" {
+		t.Fatalf("empty preset: %v, %v", g, err)
+	}
+	if g, err := ForWorkload("ChaseWhisply", PresetDefault); err != nil || g.Game() != "ChaseWhisply" {
+		t.Fatalf("default preset: %v, %v", g, err)
+	}
+	g, err := ForWorkload("ChaseWhisply", PresetEventCam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Game() != "ChaseWhisply" {
+		t.Fatalf("eventcam generator claims %s", g.Game())
+	}
+	if _, err := ForWorkload("ChaseWhisply", "nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := ForWorkload("Pong", PresetEventCam); err == nil {
+		t.Fatal("unknown game accepted")
+	}
+}
+
+func TestEventCamMultipliesEventRate(t *testing.T) {
+	const seed, dur = 7, 5 * units.Second
+	base := MustForGame("ChaseWhisply").Generate(seed, dur)
+	cam, err := ForWorkload("ChaseWhisply", PresetEventCam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := cam.Generate(seed, dur)
+	// The overlay itself runs ~500 Hz; the merged stream must carry at
+	// least 10× the base reading count (the issue's 10–100× band).
+	if dense.Len() < 10*base.Len() {
+		t.Fatalf("eventcam stream %d readings, base %d — want >= 10x", dense.Len(), base.Len())
+	}
+	var last units.Time
+	for i := 0; i < dense.Len(); i++ {
+		r := dense.At(i)
+		if r.Time < last {
+			t.Fatalf("reading %d out of order", i)
+		}
+		last = r.Time
+	}
+	// The dense gyro traffic must survive event synthesis as Tilt events
+	// (not collapse to nothing): that is the load the overload harness
+	// counts on.
+	evs := events.NewSynthesizer(events.DefaultSynthesizerConfig()).SynthesizeAll(dense)
+	tilts := 0
+	for _, e := range evs {
+		if e.Type == events.Tilt {
+			tilts++
+		}
+	}
+	if tilts < 100 {
+		t.Fatalf("only %d Tilt events from a 5s eventcam stream", tilts)
+	}
+}
+
+func TestEventCamDeterministicAndSeedSplit(t *testing.T) {
+	cam, err := ForWorkload("ABEvolution", PresetEventCam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cam.Generate(11, 2*units.Second)
+	b := cam.Generate(11, 2*units.Second)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.At(i), b.At(i)
+		if ra.Time != rb.Time || ra.Sensor != rb.Sensor {
+			t.Fatalf("reading %d differs", i)
+		}
+		for j := range ra.Values {
+			if ra.Values[j] != rb.Values[j] {
+				t.Fatalf("reading %d values differ", i)
+			}
+		}
+	}
+	// The overlay must not perturb the base model: the base readings
+	// inside the merged stream are exactly the plain generator's.
+	base := MustForGame("ABEvolution").Generate(11, 2*units.Second)
+	var nonGyro []sensors.Reading
+	for _, r := range a.All() {
+		if r.Sensor != sensors.Gyro {
+			nonGyro = append(nonGyro, r)
+		}
+	}
+	var baseNonGyro []sensors.Reading
+	for _, r := range base.All() {
+		if r.Sensor != sensors.Gyro {
+			baseNonGyro = append(baseNonGyro, r)
+		}
+	}
+	if len(nonGyro) != len(baseNonGyro) {
+		t.Fatalf("overlay changed base non-gyro readings: %d vs %d", len(nonGyro), len(baseNonGyro))
+	}
+	for i := range nonGyro {
+		if nonGyro[i].Time != baseNonGyro[i].Time {
+			t.Fatalf("base reading %d moved", i)
+		}
+	}
+}
